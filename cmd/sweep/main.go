@@ -1,0 +1,68 @@
+// Command sweep varies one communication parameter across its studied range
+// for a chosen set of workloads and prints the speedup series (one paper
+// figure at a time, on demand).
+//
+// Usage:
+//
+//	sweep -param interrupt
+//	sweep -param iobw -apps FFT,Radix
+//	sweep -param pagesize -mode aurc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"svmsim"
+	"svmsim/internal/exp"
+)
+
+func main() {
+	var (
+		param = flag.String("param", "interrupt",
+			"parameter to sweep: overhead, occupancy, iobw, interrupt, pagesize, clustering")
+		appsFlag = flag.String("apps", "", "comma-separated workload subset (default: all)")
+		size     = flag.String("size", "small", "problem size: small or default")
+		mode     = flag.String("mode", "hlrc", "protocol: hlrc or aurc")
+		verbose  = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	sizes := exp.Small
+	if strings.EqualFold(*size, "default") {
+		sizes = exp.Default
+	}
+	s := exp.NewSuite(sizes)
+	if *verbose {
+		s.Verbose = os.Stderr
+	}
+
+	wls := svmsim.Workloads()
+	if *appsFlag != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*appsFlag, ",") {
+			want[strings.ToLower(strings.TrimSpace(n))] = true
+		}
+		var sel []svmsim.Workload
+		for _, w := range wls {
+			if want[strings.ToLower(w.Name)] {
+				sel = append(sel, w)
+			}
+		}
+		wls = sel
+	}
+	if len(wls) == 0 {
+		fmt.Fprintln(os.Stderr, "no matching workloads")
+		os.Exit(2)
+	}
+
+	aurc := strings.EqualFold(*mode, "aurc")
+	tbl, err := s.SweepParam(*param, wls, aurc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(tbl.String())
+}

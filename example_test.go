@@ -1,0 +1,57 @@
+package svmsim_test
+
+import (
+	"fmt"
+
+	"svmsim"
+)
+
+// ExampleRun runs the smallest workload on the achievable configuration and
+// prints whether the protocol produced a valid result (the workload's own
+// check ran as part of Run).
+func ExampleRun() {
+	cfg := svmsim.Achievable()
+	cfg.Procs = 4
+	cfg.ProcsPerNode = 2
+	res, err := svmsim.Run(cfg, svmsim.LU(svmsim.LUSmall()))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("validated:", res.Run.Cycles > 0)
+	// Output: validated: true
+}
+
+// ExampleComputeSpeedups derives the paper's speedup figures from a parallel
+// run and its uniprocessor baseline.
+func ExampleComputeSpeedups() {
+	cfg := svmsim.Achievable()
+	cfg.Procs = 4
+	cfg.ProcsPerNode = 2
+	app := func() svmsim.App { return svmsim.Ocean(svmsim.OceanSmall()) }
+	par, err := svmsim.Run(cfg, app())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	uni, err := svmsim.Run(svmsim.Uniprocessor(cfg), app())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sp := svmsim.ComputeSpeedups(uni.Run.Cycles, par.Run)
+	fmt.Println("speedup below ideal:", sp.Achievable < sp.Ideal)
+	fmt.Println("speedup positive:", sp.Achievable > 0)
+	// Output:
+	// speedup below ideal: true
+	// speedup positive: true
+}
+
+// ExampleSlowdown shows the paper's Table 3 metric.
+func ExampleSlowdown() {
+	fmt.Printf("%.0f%%\n", svmsim.Slowdown(100, 150))
+	fmt.Printf("%.0f%%\n", svmsim.Slowdown(100, 80))
+	// Output:
+	// 50%
+	// -20%
+}

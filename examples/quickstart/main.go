@@ -1,0 +1,41 @@
+// Quickstart: run the FFT workload on the paper's achievable configuration
+// (16 processors in 4-way SMP nodes) and report the speedup over a
+// uniprocessor, reproducing one data point of the study.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svmsim"
+)
+
+func main() {
+	cfg := svmsim.Achievable()
+	app := svmsim.FFT(svmsim.FFTSmall())
+
+	parallel, err := svmsim.Run(cfg, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uni, err := svmsim.Run(svmsim.Uniprocessor(cfg), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sp := svmsim.ComputeSpeedups(uni.Run.Cycles, parallel.Run)
+	fmt.Printf("FFT on %d processors (%d per node):\n", cfg.Procs, cfg.ProcsPerNode)
+	fmt.Printf("  uniprocessor: %d cycles\n", sp.Uniproc)
+	fmt.Printf("  parallel:     %d cycles\n", sp.Parallel)
+	fmt.Printf("  speedup:      %.2f (ideal %.2f)\n", sp.Achievable, sp.Ideal)
+
+	// Interrupts are the paper's headline bottleneck: make them expensive
+	// and watch the speedup collapse.
+	cfg.IntrHalfCost = 10000
+	slow, err := svmsim.Run(cfg, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with 2x10000-cycle interrupts: speedup %.2f\n",
+		float64(sp.Uniproc)/float64(slow.Run.Cycles))
+}

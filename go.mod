@@ -1,0 +1,3 @@
+module svmsim
+
+go 1.22

@@ -1,0 +1,137 @@
+package appkit
+
+import (
+	"testing"
+
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+func cfg() machine.Config {
+	c := machine.Achievable()
+	c.Procs = 8
+	c.ProcsPerNode = 2
+	c.HeapBytes = 4 << 20
+	return c
+}
+
+// TestTaskQueuesDrainExactlyOnce: every pushed task is taken exactly once
+// across all workers, under heavy stealing (all tasks seeded on one queue).
+func TestTaskQueuesDrainExactlyOnce(t *testing.T) {
+	const tasks = 64
+	taken := make([]int, tasks)
+	app := machine.App{
+		Name: "queues",
+		Setup: func(w *shm.World) any {
+			return NewTaskQueues(w, w.Procs(), tasks+4)
+		},
+		Body: func(c *shm.Proc, state any) {
+			q := state.(*TaskQueues)
+			if c.ID == 0 {
+				for i := 0; i < tasks; i++ {
+					if !q.Push(c, 0, int64(i)) {
+						panic("push failed")
+					}
+				}
+			}
+			c.Barrier()
+			for {
+				task, ok := q.Take(c, c.ID)
+				if !ok {
+					break
+				}
+				taken[task]++
+				c.Compute(200)
+			}
+			c.Barrier()
+		},
+	}
+	if _, err := machine.Run(cfg(), app); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range taken {
+		if n != 1 {
+			t.Fatalf("task %d taken %d times", i, n)
+		}
+	}
+}
+
+// TestTaskQueuesBalancedSeed: block-seeded queues (volrend pattern) also
+// drain exactly once.
+func TestTaskQueuesBalancedSeed(t *testing.T) {
+	const tasks = 32
+	taken := make([]int, tasks)
+	app := machine.App{
+		Name: "queues-balanced",
+		Setup: func(w *shm.World) any {
+			return NewTaskQueues(w, w.Procs(), tasks+4)
+		},
+		Body: func(c *shm.Proc, state any) {
+			q := state.(*TaskQueues)
+			lo, hi := c.Block(tasks)
+			for i := lo; i < hi; i++ {
+				q.Push(c, c.ID, int64(i))
+			}
+			c.Barrier()
+			for {
+				task, ok := q.Take(c, c.ID)
+				if !ok {
+					break
+				}
+				taken[task]++
+				c.Compute(uint64(100 * (task + 1)))
+			}
+			c.Barrier()
+		},
+	}
+	if _, err := machine.Run(cfg(), app); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range taken {
+		if n != 1 {
+			t.Fatalf("task %d taken %d times", i, n)
+		}
+	}
+}
+
+// TestReduction sums across processors.
+func TestReduction(t *testing.T) {
+	var got float64
+	app := machine.App{
+		Name: "reduce",
+		Setup: func(w *shm.World) any {
+			return NewReduction(w)
+		},
+		Body: func(c *shm.Proc, state any) {
+			r := state.(*Reduction)
+			r.AddF64(c, float64(c.ID+1))
+			c.Barrier()
+			if c.ID == 0 {
+				got = r.Read(c)
+			}
+			c.Barrier()
+		},
+	}
+	if _, err := machine.Run(cfg(), app); err != nil {
+		t.Fatal(err)
+	}
+	if got != 36 { // 1+..+8
+		t.Fatalf("reduction = %g, want 36", got)
+	}
+}
+
+// TestBlockOf covers the block partition helper.
+func TestBlockOf(t *testing.T) {
+	covered := make([]int, 103)
+	for id := 0; id < 7; id++ {
+		lo, hi := shm.BlockOf(103, id, 7)
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Fatalf("index %d covered %d times", i, n)
+		}
+	}
+}

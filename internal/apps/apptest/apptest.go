@@ -1,0 +1,61 @@
+// Package apptest provides the shared test harness for the workload
+// packages: each application is run on a small cluster under both protocol
+// modes, on a uniprocessor, and twice for determinism.
+package apptest
+
+import (
+	"testing"
+
+	"svmsim/internal/machine"
+	"svmsim/internal/proto"
+)
+
+// SmallConfig is the standard small test cluster: 8 processors on 4 nodes.
+func SmallConfig() machine.Config {
+	c := machine.Achievable()
+	c.Procs = 8
+	c.ProcsPerNode = 2
+	c.HeapBytes = 8 << 20
+	return c
+}
+
+// Exercise runs the app through the standard matrix: HLRC, AURC,
+// uniprocessor, and a determinism pair. The app's own Check validates
+// results on every run.
+func Exercise(t *testing.T, app machine.App) {
+	t.Helper()
+	t.Run("HLRC", func(t *testing.T) {
+		res, err := machine.Run(SmallConfig(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Run.Cycles == 0 {
+			t.Fatal("no cycles simulated")
+		}
+	})
+	t.Run("AURC", func(t *testing.T) {
+		cfg := SmallConfig()
+		cfg.Proto.Mode = proto.AURC
+		if _, err := machine.Run(cfg, app); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("Uniprocessor", func(t *testing.T) {
+		if _, err := machine.Run(machine.Uniprocessor(SmallConfig()), app); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("Deterministic", func(t *testing.T) {
+		r1, err := machine.Run(SmallConfig(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := machine.Run(SmallConfig(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Run.Cycles != r2.Run.Cycles {
+			t.Fatalf("nondeterministic: %d vs %d", r1.Run.Cycles, r2.Run.Cycles)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package barnes
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+	"svmsim/internal/machine"
+	"svmsim/internal/stats"
+)
+
+func TestBarnesRebuild(t *testing.T) {
+	apptest.Exercise(t, New(SmallRebuild()))
+}
+
+func TestBarnesSpace(t *testing.T) {
+	apptest.Exercise(t, New(SmallSpace()))
+}
+
+// TestSpaceAvoidsLocking: the space variant must take drastically fewer
+// remote lock acquires than rebuild (its whole point).
+func TestSpaceAvoidsLocking(t *testing.T) {
+	locksOf := func(app machine.App) uint64 {
+		res, err := machine.Run(apptest.SmallConfig(), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Run.Sum(func(p *stats.Proc) uint64 { return p.RemoteLocks + p.LocalLocks })
+	}
+	rebuild := locksOf(New(SmallRebuild()))
+	space := locksOf(New(SmallSpace()))
+	if space*4 > rebuild {
+		t.Fatalf("space locking not reduced: rebuild=%d space=%d", rebuild, space)
+	}
+}

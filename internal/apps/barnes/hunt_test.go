@@ -1,0 +1,43 @@
+package barnes
+
+import (
+	"testing"
+
+	"svmsim/internal/machine"
+)
+
+func TestHuntConfig(t *testing.T) {
+	mods := []struct {
+		name string
+		f    func(*machine.Config)
+	}{
+		{"base", func(c *machine.Config) {}},
+		{"ho0", func(c *machine.Config) { c.Net.HostOverhead = 0 }},
+		{"ho5000", func(c *machine.Config) { c.Net.HostOverhead = 5000 }},
+		{"occ0", func(c *machine.Config) { c.Net.NIOccupancy = 0 }},
+		{"occ2000", func(c *machine.Config) { c.Net.NIOccupancy = 2000 }},
+		{"io0.2", func(c *machine.Config) { c.Net.IOBytesPerCycle = 0.2 }},
+		{"io2.0", func(c *machine.Config) { c.Net.IOBytesPerCycle = 2.0 }},
+		{"intr0", func(c *machine.Config) { c.IntrHalfCost = 0 }},
+		{"intr10000", func(c *machine.Config) { c.IntrHalfCost = 10000 }},
+		{"pg1k", func(c *machine.Config) { c.Proto.PageBytes = 1 << 10 }},
+		{"pg16k", func(c *machine.Config) { c.Proto.PageBytes = 16 << 10 }},
+		{"ppn1", func(c *machine.Config) { c.ProcsPerNode = 1 }},
+		{"ppn8", func(c *machine.Config) { c.ProcsPerNode = 8 }},
+	}
+	for _, m := range mods {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic: %v", r)
+				}
+			}()
+			cfg := machine.Achievable()
+			m.f(&cfg)
+			if _, err := machine.Run(cfg, New(SmallRebuild())); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,21 @@
+package barnes
+
+import (
+	"testing"
+
+	"svmsim/internal/machine"
+	"svmsim/internal/proto"
+)
+
+// TestWatchStaleCell traces every event on the word that shows up stale in
+// the ho0 blowup (cell 148 slot 5 of the cell pool).
+func TestWatchStaleCell(t *testing.T) {
+	// cells base = 256*16*8 = 32768; word = (148*16+5)*8 = 18984.
+	proto.WatchAddr = 32768 + 18984
+	proto.WatchLog = func(format string, args ...any) { t.Logf(format, args...) }
+	defer func() { proto.WatchLog = nil }()
+	cfg := machine.Achievable()
+	cfg.Net.HostOverhead = 0
+	_, err := machine.Run(cfg, New(SmallRebuild()))
+	t.Logf("run err: %v", err)
+}

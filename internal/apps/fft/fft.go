@@ -1,0 +1,246 @@
+// Package fft implements the SPLASH-2 FFT kernel on the simulated shared
+// address space: a six-step, transpose-based 1-D FFT of n complex points
+// arranged as a sqrt(n) x sqrt(n) matrix. Its all-to-all, read-based
+// transposes give it the paper's highest inherent communication-to-
+// computation ratio.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"svmsim/internal/apps/appkit"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// Params sizes the problem.
+type Params struct {
+	// N is the number of complex points (a power of 4 so the matrix is
+	// square with power-of-two sides).
+	N int
+	// FlopCycles is the charged cost per butterfly.
+	FlopCycles uint64
+}
+
+// Small returns a test-sized problem.
+func Small() Params { return Params{N: 4096, FlopCycles: 150} }
+
+// Default returns the benchmark-sized problem.
+func Default() Params { return Params{N: 16384, FlopCycles: 150} }
+
+type state struct {
+	p     Params
+	n1    int // matrix side
+	a, b  appkit.Vec
+	input []complex128 // private copy for validation
+}
+
+// New builds the application.
+func New(p Params) machine.App {
+	return machine.App{
+		Name:  "FFT",
+		Setup: func(w *shm.World) any { return setup(w, p) },
+		Body:  body,
+		Check: check,
+	}
+}
+
+func setup(w *shm.World, p Params) *state {
+	n1 := 1
+	for n1*n1 < p.N {
+		n1 <<= 1
+	}
+	if n1*n1 != p.N {
+		panic("fft: N must be a perfect square power of two")
+	}
+	s := &state{p: p, n1: n1}
+	// Two matrices of n complex values (2 words each), page-aligned and
+	// distributed by row blocks.
+	s.a = appkit.AllocVecPages(w, 2*p.N)
+	s.b = appkit.AllocVecPages(w, 2*p.N)
+	appkit.BlockHome(w, s.a, 2*p.N)
+	appkit.BlockHome(w, s.b, 2*p.N)
+	// Deterministic input signal.
+	s.input = make([]complex128, p.N)
+	for i := range s.input {
+		x := float64(i)
+		s.input[i] = complex(math.Sin(0.001*x)+0.5*math.Cos(0.013*x), 0.25*math.Sin(0.007*x))
+	}
+	return s
+}
+
+func idx(n1, r, col int) int { return r*n1 + col }
+
+func (s *state) readRow(c *shm.Proc, m appkit.Vec, r int, buf []complex128) {
+	for j := 0; j < s.n1; j++ {
+		re := m.GetF(c, 2*idx(s.n1, r, j))
+		im := m.GetF(c, 2*idx(s.n1, r, j)+1)
+		buf[j] = complex(re, im)
+	}
+}
+
+func (s *state) writeRow(c *shm.Proc, m appkit.Vec, r int, buf []complex128) {
+	for j := 0; j < s.n1; j++ {
+		m.SetF(c, 2*idx(s.n1, r, j), real(buf[j]))
+		m.SetF(c, 2*idx(s.n1, r, j)+1, imag(buf[j]))
+	}
+}
+
+// fft1d runs an in-place iterative radix-2 FFT on private data, charging the
+// butterfly cost.
+func fft1d(c *shm.Proc, buf []complex128, invert bool, flopCycles uint64) {
+	n := len(buf)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if invert {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := buf[i+j]
+				v := buf[i+j+length/2] * w
+				buf[i+j] = u + v
+				buf[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	c.Compute(uint64(n) * uint64(bits(n)) / 2 * flopCycles)
+}
+
+func bits(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// transpose writes this processor's rows of dst from the columns of src
+// (reads are remote, writes are local: the SPLASH communication pattern).
+func (s *state) transpose(c *shm.Proc, dst, src appkit.Vec) {
+	lo, hi := c.Block(s.n1)
+	for r := lo; r < hi; r++ {
+		for j := 0; j < s.n1; j++ {
+			re := src.GetF(c, 2*idx(s.n1, j, r))
+			im := src.GetF(c, 2*idx(s.n1, j, r)+1)
+			dst.SetF(c, 2*idx(s.n1, r, j), re)
+			dst.SetF(c, 2*idx(s.n1, r, j)+1, im)
+		}
+	}
+}
+
+// twiddle applies the six-step algorithm's twiddle factors to this
+// processor's rows of m.
+func (s *state) twiddle(c *shm.Proc, m appkit.Vec, invert bool) {
+	lo, hi := c.Block(s.n1)
+	n := float64(s.p.N)
+	for r := lo; r < hi; r++ {
+		for j := 0; j < s.n1; j++ {
+			ang := 2 * math.Pi * float64(r) * float64(j) / n
+			if invert {
+				ang = -ang
+			}
+			w := cmplx.Exp(complex(0, ang))
+			re := m.GetF(c, 2*idx(s.n1, r, j))
+			im := m.GetF(c, 2*idx(s.n1, r, j)+1)
+			v := complex(re, im) * w
+			m.SetF(c, 2*idx(s.n1, r, j), real(v))
+			m.SetF(c, 2*idx(s.n1, r, j)+1, imag(v))
+		}
+		c.Compute(uint64(s.n1) * s.p.FlopCycles)
+	}
+}
+
+// pass runs one full six-step FFT (forward or inverse) from src into dst
+// (natural order), using both matrices as transpose scratch.
+func (s *state) pass(c *shm.Proc, src, dst appkit.Vec, invert bool) {
+	buf := make([]complex128, s.n1)
+	lo, hi := c.Block(s.n1)
+	// Step 1: transpose src -> dst.
+	s.transpose(c, dst, src)
+	c.Barrier()
+	// Step 2: FFT each row of dst.
+	for r := lo; r < hi; r++ {
+		s.readRow(c, dst, r, buf)
+		fft1d(c, buf, invert, s.p.FlopCycles)
+		s.writeRow(c, dst, r, buf)
+	}
+	// Step 3: twiddle.
+	s.twiddle(c, dst, invert)
+	c.Barrier()
+	// Step 4: transpose dst -> src.
+	s.transpose(c, src, dst)
+	c.Barrier()
+	// Step 5: FFT each row of src.
+	for r := lo; r < hi; r++ {
+		s.readRow(c, src, r, buf)
+		fft1d(c, buf, invert, s.p.FlopCycles)
+		s.writeRow(c, src, r, buf)
+	}
+	c.Barrier()
+	// Step 6: transpose src -> dst, leaving the natural-order result in dst.
+	s.transpose(c, dst, src)
+	c.Barrier()
+}
+
+func body(c *shm.Proc, st any) {
+	s := st.(*state)
+	// Parallel init: each processor writes its row block (first touch homes
+	// the pages per the explicit BlockHome distribution anyway).
+	lo, hi := c.Block(s.n1)
+	for r := lo; r < hi; r++ {
+		for j := 0; j < s.n1; j++ {
+			v := s.input[idx(s.n1, r, j)]
+			s.a.SetF(c, 2*idx(s.n1, r, j), real(v))
+			s.a.SetF(c, 2*idx(s.n1, r, j)+1, imag(v))
+		}
+	}
+	c.Barrier()
+	s.pass(c, s.a, s.b, false) // forward FFT: result in b
+	s.pass(c, s.b, s.a, true)  // inverse FFT: result back in a
+	// Normalize (inverse needs 1/N scaling).
+	inv := 1 / float64(s.p.N)
+	for r := lo; r < hi; r++ {
+		for j := 0; j < s.n1; j++ {
+			re := s.a.GetF(c, 2*idx(s.n1, r, j))
+			im := s.a.GetF(c, 2*idx(s.n1, r, j)+1)
+			s.a.SetF(c, 2*idx(s.n1, r, j), re*inv)
+			s.a.SetF(c, 2*idx(s.n1, r, j)+1, im*inv)
+		}
+	}
+	c.Barrier()
+}
+
+// check verifies FFT(iFFT(x)) round-trips to the original signal through
+// every diff, fetch and invalidation the run performed.
+func check(w *shm.World, st any) error {
+	s := st.(*state)
+	for i := 0; i < s.p.N; i++ {
+		home := w.Sys.Home(w.Sys.PageOf(s.a.At(2 * i)))
+		re := math.Float64frombits(w.Sys.Nodes[home].ReadWord(s.a.At(2 * i)))
+		home2 := w.Sys.Home(w.Sys.PageOf(s.a.At(2*i + 1)))
+		im := math.Float64frombits(w.Sys.Nodes[home2].ReadWord(s.a.At(2*i + 1)))
+		want := s.input[i]
+		if math.Abs(re-real(want)) > 1e-6 || math.Abs(im-imag(want)) > 1e-6 {
+			return fmt.Errorf("fft: element %d = (%g,%g), want (%g,%g)", i, re, im, real(want), imag(want))
+		}
+	}
+	return nil
+}

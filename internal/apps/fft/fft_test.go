@@ -1,0 +1,71 @@
+package fft
+
+import (
+	"testing"
+
+	"svmsim/internal/machine"
+	"svmsim/internal/proto"
+	"svmsim/internal/stats"
+)
+
+func smallCfg() machine.Config {
+	c := machine.Achievable()
+	c.Procs = 8
+	c.ProcsPerNode = 2
+	c.HeapBytes = 2 << 20
+	return c
+}
+
+func TestFFTRoundTripHLRC(t *testing.T) {
+	if _, err := machine.Run(smallCfg(), New(Small())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTRoundTripAURC(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Proto.Mode = proto.AURC
+	if _, err := machine.Run(cfg, New(Small())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTUniprocessor(t *testing.T) {
+	cfg := machine.Uniprocessor(smallCfg())
+	res, err := machine.Run(cfg, New(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Cycles == 0 {
+		t.Fatal("no work simulated")
+	}
+}
+
+func TestFFTCommunicatesAllToAll(t *testing.T) {
+	res, err := machine.Run(smallCfg(), New(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches := res.Run.Sum(func(p *stats.Proc) uint64 { return p.PageFetches })
+	if fetches == 0 {
+		t.Fatal("FFT transposes must fetch remote pages")
+	}
+	msgs := res.Run.Sum(func(p *stats.Proc) uint64 { return p.MsgsSent })
+	if msgs == 0 {
+		t.Fatal("no messages")
+	}
+}
+
+func TestFFTDeterministic(t *testing.T) {
+	r1, err := machine.Run(smallCfg(), New(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := machine.Run(smallCfg(), New(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Run.Cycles != r2.Run.Cycles {
+		t.Fatalf("nondeterministic: %d vs %d", r1.Run.Cycles, r2.Run.Cycles)
+	}
+}

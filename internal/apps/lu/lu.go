@@ -1,0 +1,232 @@
+// Package lu implements the SPLASH-2 LU kernel (contiguous blocks): blocked
+// dense LU factorization without pivoting, where each BxB block is
+// contiguous in memory and owned (written) by exactly one processor — the
+// paper's canonical single-writer application with a very low
+// communication-to-computation ratio but inherent load imbalance.
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"svmsim/internal/apps/appkit"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// Params sizes the problem.
+type Params struct {
+	N          int // matrix dimension
+	B          int // block size
+	FlopCycles uint64
+}
+
+// Small returns a test-sized problem.
+func Small() Params { return Params{N: 96, B: 8, FlopCycles: 60} }
+
+// Default returns the benchmark-sized problem.
+func Default() Params { return Params{N: 192, B: 16, FlopCycles: 60} }
+
+type state struct {
+	p   Params
+	nb  int // blocks per side
+	m   appkit.Vec
+	ref []float64 // private copy of the original matrix for validation
+}
+
+// New builds the application.
+func New(p Params) machine.App {
+	return machine.App{
+		Name:  "LU",
+		Setup: func(w *shm.World) any { return setup(w, p) },
+		Body:  body,
+		Check: check,
+	}
+}
+
+func setup(w *shm.World, p Params) *state {
+	if p.N%p.B != 0 {
+		panic("lu: N must be a multiple of B")
+	}
+	s := &state{p: p, nb: p.N / p.B}
+	s.m = appkit.AllocVecPages(w, p.N*p.N)
+	// Deterministic diagonally-dominant matrix (stable without pivoting).
+	s.ref = make([]float64, p.N*p.N)
+	for i := 0; i < p.N; i++ {
+		for j := 0; j < p.N; j++ {
+			v := math.Sin(float64(i*p.N+j)*0.37)*0.5 + 0.1
+			if i == j {
+				v += float64(p.N)
+			}
+			s.ref[i*p.N+j] = v
+		}
+	}
+	return s
+}
+
+// owner maps block (bi,bj) to a processor in a 2-D scatter.
+func (s *state) owner(bi, bj, nprocs int) int {
+	// Factor nprocs into a near-square grid.
+	pr := 1
+	for f := int(math.Sqrt(float64(nprocs))); f >= 1; f-- {
+		if nprocs%f == 0 {
+			pr = f
+			break
+		}
+	}
+	pc := nprocs / pr
+	return (bi%pr)*pc + bj%pc
+}
+
+// blockIdx returns the word index of element (i,j) of block (bi,bj) in the
+// contiguous-blocks layout.
+func (s *state) blockIdx(bi, bj, i, j int) int {
+	b := s.p.B
+	blockBase := (bi*s.nb + bj) * b * b
+	return blockBase + i*b + j
+}
+
+func (s *state) get(c *shm.Proc, bi, bj, i, j int) float64 {
+	return s.m.GetF(c, s.blockIdx(bi, bj, i, j))
+}
+
+func (s *state) set(c *shm.Proc, bi, bj, i, j int, v float64) {
+	s.m.SetF(c, s.blockIdx(bi, bj, i, j), v)
+}
+
+func body(c *shm.Proc, st any) {
+	s := st.(*state)
+	b := s.p.B
+	// Parallel init: owners write their blocks (first-touch homes them).
+	for bi := 0; bi < s.nb; bi++ {
+		for bj := 0; bj < s.nb; bj++ {
+			if s.owner(bi, bj, c.N) != c.ID {
+				continue
+			}
+			for i := 0; i < b; i++ {
+				for j := 0; j < b; j++ {
+					gi, gj := bi*b+i, bj*b+j
+					s.set(c, bi, bj, i, j, s.ref[gi*s.p.N+gj])
+				}
+			}
+		}
+	}
+	c.Barrier()
+
+	for k := 0; k < s.nb; k++ {
+		// Factor the diagonal block.
+		if s.owner(k, k, c.N) == c.ID {
+			for i := 0; i < b; i++ {
+				for j := i + 1; j < b; j++ {
+					l := s.get(c, k, k, j, i) / s.get(c, k, k, i, i)
+					s.set(c, k, k, j, i, l)
+					for x := i + 1; x < b; x++ {
+						s.set(c, k, k, j, x, s.get(c, k, k, j, x)-l*s.get(c, k, k, i, x))
+					}
+					c.Compute(uint64(b) * s.p.FlopCycles)
+				}
+			}
+		}
+		c.Barrier()
+		// Perimeter: column blocks (L part) and row blocks (U part).
+		for bi := k + 1; bi < s.nb; bi++ {
+			if s.owner(bi, k, c.N) == c.ID {
+				// Solve A[bi][k] = L[bi][k] * U[k][k].
+				for i := 0; i < b; i++ {
+					for j := 0; j < b; j++ {
+						sum := s.get(c, bi, k, i, j)
+						for x := 0; x < j; x++ {
+							sum -= s.get(c, bi, k, i, x) * s.get(c, k, k, x, j)
+						}
+						s.set(c, bi, k, i, j, sum/s.get(c, k, k, j, j))
+						c.Compute(uint64(j+1) * s.p.FlopCycles)
+					}
+				}
+			}
+			if s.owner(k, bi, c.N) == c.ID {
+				// Solve A[k][bi] = L[k][k] * U[k][bi].
+				for j := 0; j < b; j++ {
+					for i := 0; i < b; i++ {
+						sum := s.get(c, k, bi, i, j)
+						for x := 0; x < i; x++ {
+							sum -= s.get(c, k, k, i, x) * s.get(c, k, bi, x, j)
+						}
+						s.set(c, k, bi, i, j, sum)
+						c.Compute(uint64(i+1) * s.p.FlopCycles)
+					}
+				}
+			}
+		}
+		c.Barrier()
+		// Interior update: A[bi][bj] -= L[bi][k] * U[k][bj].
+		for bi := k + 1; bi < s.nb; bi++ {
+			for bj := k + 1; bj < s.nb; bj++ {
+				if s.owner(bi, bj, c.N) != c.ID {
+					continue
+				}
+				for i := 0; i < b; i++ {
+					for j := 0; j < b; j++ {
+						sum := s.get(c, bi, bj, i, j)
+						for x := 0; x < b; x++ {
+							sum -= s.get(c, bi, k, i, x) * s.get(c, k, bj, x, j)
+						}
+						s.set(c, bi, bj, i, j, sum)
+						c.Compute(uint64(b) * s.p.FlopCycles)
+					}
+				}
+			}
+		}
+		c.Barrier()
+	}
+}
+
+// check recomposes L*U from the home images and compares against the
+// original matrix.
+func check(w *shm.World, st any) error {
+	s := st.(*state)
+	n, b := s.p.N, s.p.B
+	read := func(gi, gj int) float64 {
+		bi, bj := gi/b, gj/b
+		i, j := gi%b, gj%b
+		addr := s.m.At(s.blockIdx(bi, bj, i, j))
+		home := w.Sys.Home(w.Sys.PageOf(addr))
+		return math.Float64frombits(w.Sys.Nodes[home].ReadWord(addr))
+	}
+	lu := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			lu[i*n+j] = read(i, j)
+		}
+	}
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				l := lu[i*n+k]
+				if k == i {
+					l = 1
+				}
+				if k > i {
+					l = 0
+				}
+				u := lu[k*n+j]
+				if k > j {
+					u = 0
+				}
+				sum += l * u
+			}
+			if e := math.Abs(sum - s.ref[i*n+j]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	if maxErr > 1e-6*float64(n) {
+		return fmt.Errorf("lu: max |LU - A| = %g", maxErr)
+	}
+	return nil
+}

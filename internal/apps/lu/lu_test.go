@@ -1,0 +1,28 @@
+package lu
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+	"svmsim/internal/machine"
+	"svmsim/internal/stats"
+)
+
+func TestLU(t *testing.T) {
+	apptest.Exercise(t, New(Small()))
+}
+
+func TestLUSingleWriterNoDiffWords(t *testing.T) {
+	// Contiguous LU is single-writer at page granularity when blocks are
+	// page-aligned multiples; with 8x8 blocks (512 B) pages hold 8 blocks,
+	// so a few diffs can occur across block boundaries but writes are
+	// overwhelmingly local. Check fetches dominate diffs.
+	res, err := machine.Run(apptest.SmallConfig(), New(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches := res.Run.Sum(func(p *stats.Proc) uint64 { return p.PageFetches })
+	if fetches == 0 {
+		t.Fatal("LU must fetch perimeter blocks")
+	}
+}

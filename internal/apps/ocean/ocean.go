@@ -1,0 +1,303 @@
+// Package ocean implements the Ocean-contiguous workload as a parallel
+// multigrid Poisson solver: V-cycles of red-black SOR smoothing with
+// full-weighting restriction and bilinear prolongation over a hierarchy of
+// row-block-distributed grids. This matches the structure of SPLASH-2
+// Ocean's dominant phase (its multigrid equation solver) including the
+// property the paper relies on: largely nearest-neighbour, iterative
+// communication whose communication-to-computation ratio worsens on the
+// coarse grids.
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"svmsim/internal/apps/appkit"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// Params sizes the problem.
+type Params struct {
+	// N is the interior dimension of the finest grid; the grid is (N+2)^2
+	// with a fixed boundary. N must be divisible by 2^(Levels-1).
+	N int
+	// Levels is the multigrid hierarchy depth.
+	Levels int
+	// Cycles is the number of V-cycles.
+	Cycles int
+	// PreSmooth and PostSmooth are red-black sweeps around each recursion.
+	PreSmooth, PostSmooth int
+	// FlopCycles is the charged cost per grid-point update.
+	FlopCycles uint64
+}
+
+// Small returns a test-sized problem.
+func Small() Params {
+	return Params{N: 64, Levels: 3, Cycles: 2, PreSmooth: 2, PostSmooth: 2, FlopCycles: 200}
+}
+
+// Default returns the benchmark-sized problem.
+func Default() Params {
+	return Params{N: 128, Levels: 4, Cycles: 2, PreSmooth: 2, PostSmooth: 2, FlopCycles: 200}
+}
+
+// level is one grid of the hierarchy.
+type level struct {
+	n    int // interior dimension
+	dim  int // n + 2
+	h2   float64
+	u    appkit.Vec // solution / correction
+	rhs  appkit.Vec
+	res  appkit.Vec // residual scratch
+}
+
+type state struct {
+	p      Params
+	levels []*level
+	redsum *appkit.Reduction
+
+	// Residual history recorded by proc 0 (one value before the first
+	// cycle, one after each cycle).
+	residuals []float64
+}
+
+// New builds the application.
+func New(p Params) machine.App {
+	return machine.App{
+		Name:  "Ocean",
+		Setup: func(w *shm.World) any { return setup(w, p) },
+		Body:  body,
+		Check: check,
+	}
+}
+
+func setup(w *shm.World, p Params) *state {
+	if p.Levels < 1 {
+		panic("ocean: need at least one level")
+	}
+	if p.N%(1<<(p.Levels-1)) != 0 {
+		panic("ocean: N must be divisible by 2^(Levels-1)")
+	}
+	s := &state{p: p}
+	n := p.N
+	h := 1.0 / float64(p.N+1)
+	for l := 0; l < p.Levels; l++ {
+		dim := n + 2
+		lv := &level{n: n, dim: dim, h2: h * h}
+		lv.u = appkit.AllocVecPages(w, dim*dim)
+		lv.rhs = appkit.AllocVecPages(w, dim*dim)
+		lv.res = appkit.AllocVecPages(w, dim*dim)
+		// Distribute interior rows by processor blocks.
+		procs := w.Procs()
+		ppn := procs / w.Nodes()
+		for id := 0; id < procs; id++ {
+			lo, hi := shm.BlockOf(n, id, procs)
+			if hi > lo {
+				start := (lo + 1) * dim
+				words := (hi - lo) * dim
+				for _, v := range []appkit.Vec{lv.u, lv.rhs, lv.res} {
+					w.SetHome(v.At(start), uint64(words)*8, id/ppn)
+				}
+			}
+		}
+		s.levels = append(s.levels, lv)
+		n /= 2
+		h *= 2
+	}
+	s.redsum = appkit.NewReduction(w)
+	return s
+}
+
+func (lv *level) at(i, j int) int { return i*lv.dim + j }
+
+// rows returns this processor's interior row range [lo, hi) on the level
+// (1-based rows; empty on coarse levels with fewer rows than processors).
+func (lv *level) rows(c *shm.Proc) (int, int) {
+	lo, hi := c.Block(lv.n)
+	return lo + 1, hi + 1
+}
+
+// smooth runs one red-black SOR sweep pair over the processor's rows.
+func (s *state) smooth(c *shm.Proc, lv *level, sweeps int) {
+	const omega = 1.35
+	lo, hi := lv.rows(c)
+	for sw := 0; sw < sweeps; sw++ {
+		for color := 0; color < 2; color++ {
+			for i := lo; i < hi; i++ {
+				for j := 1; j <= lv.n; j++ {
+					if (i+j)%2 != color {
+						continue
+					}
+					up := lv.u.GetF(c, lv.at(i-1, j))
+					down := lv.u.GetF(c, lv.at(i+1, j))
+					left := lv.u.GetF(c, lv.at(i, j-1))
+					right := lv.u.GetF(c, lv.at(i, j+1))
+					cur := lv.u.GetF(c, lv.at(i, j))
+					gs := 0.25 * (up + down + left + right - lv.h2*lv.rhs.GetF(c, lv.at(i, j)))
+					lv.u.SetF(c, lv.at(i, j), cur+omega*(gs-cur))
+				}
+				c.Compute(uint64(lv.n/2) * s.p.FlopCycles)
+			}
+			c.Barrier()
+		}
+	}
+}
+
+// residual computes r = rhs - A u over the processor's rows, storing into
+// lv.res, and returns the local squared norm.
+func (s *state) residual(c *shm.Proc, lv *level) float64 {
+	lo, hi := lv.rows(c)
+	var local float64
+	inv := 1 / lv.h2
+	for i := lo; i < hi; i++ {
+		for j := 1; j <= lv.n; j++ {
+			lap := (lv.u.GetF(c, lv.at(i-1, j)) + lv.u.GetF(c, lv.at(i+1, j)) +
+				lv.u.GetF(c, lv.at(i, j-1)) + lv.u.GetF(c, lv.at(i, j+1)) -
+				4*lv.u.GetF(c, lv.at(i, j))) * inv
+			r := lv.rhs.GetF(c, lv.at(i, j)) - lap
+			lv.res.SetF(c, lv.at(i, j), r)
+			local += r * r
+		}
+		c.Compute(uint64(lv.n) * s.p.FlopCycles)
+	}
+	return local
+}
+
+// restrict transfers the fine residual to the coarse rhs by full weighting,
+// and zeroes the coarse correction. Each processor handles its coarse rows.
+func (s *state) restrict(c *shm.Proc, fine, coarse *level) {
+	lo, hi := coarse.rows(c)
+	for ci := lo; ci < hi; ci++ {
+		fi := 2 * ci
+		for cj := 1; cj <= coarse.n; cj++ {
+			fj := 2 * cj
+			v := 0.25*fine.res.GetF(c, fine.at(fi, fj)) +
+				0.125*(fine.res.GetF(c, fine.at(fi-1, fj))+fine.res.GetF(c, fine.at(fi+1, fj))+
+					fine.res.GetF(c, fine.at(fi, fj-1))+fine.res.GetF(c, fine.at(fi, fj+1))) +
+				0.0625*(fine.res.GetF(c, fine.at(fi-1, fj-1))+fine.res.GetF(c, fine.at(fi-1, fj+1))+
+					fine.res.GetF(c, fine.at(fi+1, fj-1))+fine.res.GetF(c, fine.at(fi+1, fj+1)))
+			coarse.rhs.SetF(c, coarse.at(ci, cj), v)
+			coarse.u.SetF(c, coarse.at(ci, cj), 0)
+		}
+		c.Compute(uint64(coarse.n) * s.p.FlopCycles)
+	}
+	c.Barrier()
+}
+
+// prolongate adds the bilinear interpolation of the coarse correction into
+// the fine solution. Each processor handles its fine rows.
+func (s *state) prolongate(c *shm.Proc, fine, coarse *level) {
+	lo, hi := fine.rows(c)
+	for i := lo; i < hi; i++ {
+		for j := 1; j <= fine.n; j++ {
+			ci, cj := i/2, j/2
+			var v float64
+			switch {
+			case i%2 == 0 && j%2 == 0:
+				v = coarse.u.GetF(c, coarse.at(ci, cj))
+			case i%2 == 1 && j%2 == 0:
+				v = 0.5 * (coarse.u.GetF(c, coarse.at(ci, cj)) + coarse.u.GetF(c, coarse.at(ci+1, cj)))
+			case i%2 == 0 && j%2 == 1:
+				v = 0.5 * (coarse.u.GetF(c, coarse.at(ci, cj)) + coarse.u.GetF(c, coarse.at(ci, cj+1)))
+			default:
+				v = 0.25 * (coarse.u.GetF(c, coarse.at(ci, cj)) + coarse.u.GetF(c, coarse.at(ci+1, cj)) +
+					coarse.u.GetF(c, coarse.at(ci, cj+1)) + coarse.u.GetF(c, coarse.at(ci+1, cj+1)))
+			}
+			fine.u.SetF(c, fine.at(i, j), fine.u.GetF(c, fine.at(i, j))+v)
+		}
+		c.Compute(uint64(fine.n) * s.p.FlopCycles)
+	}
+	c.Barrier()
+}
+
+// vcycle runs one V-cycle from level l downward.
+func (s *state) vcycle(c *shm.Proc, l int) {
+	lv := s.levels[l]
+	s.smooth(c, lv, s.p.PreSmooth)
+	if l == len(s.levels)-1 {
+		// Coarsest level: extra smoothing stands in for a direct solve.
+		s.smooth(c, lv, 4)
+		return
+	}
+	s.residual(c, lv)
+	c.Barrier()
+	s.restrict(c, lv, s.levels[l+1])
+	s.vcycle(c, l+1)
+	s.prolongate(c, lv, s.levels[l+1])
+	s.smooth(c, lv, s.p.PostSmooth)
+}
+
+// globalResidual reduces the squared residual norm of the finest grid.
+func (s *state) globalResidual(c *shm.Proc) float64 {
+	local := s.residual(c, s.levels[0])
+	c.Barrier()
+	s.redsum.AddF64(c, local)
+	c.Barrier()
+	v := s.redsum.Read(c)
+	c.Barrier()
+	if c.ID == 0 {
+		s.redsum.Reset(c)
+	}
+	c.Barrier()
+	return v
+}
+
+func body(c *shm.Proc, st any) {
+	s := st.(*state)
+	fine := s.levels[0]
+	// Parallel init: deterministic source term and zero interior; proc 0
+	// writes the fixed boundary.
+	lo, hi := fine.rows(c)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < fine.dim; j++ {
+			fine.u.SetF(c, fine.at(i, j), 0)
+			fine.rhs.SetF(c, fine.at(i, j),
+				math.Sin(3.1*float64(i)/float64(fine.n))*math.Cos(2.3*float64(j)/float64(fine.n)))
+		}
+	}
+	if c.ID == 0 {
+		for j := 0; j < fine.dim; j++ {
+			fine.u.SetF(c, fine.at(0, j), 1)
+			fine.u.SetF(c, fine.at(fine.dim-1, j), -1)
+			fine.rhs.SetF(c, fine.at(0, j), 0)
+			fine.rhs.SetF(c, fine.at(fine.dim-1, j), 0)
+		}
+	}
+	c.Barrier()
+
+	r0 := s.globalResidual(c)
+	if c.ID == 0 {
+		s.residuals = append(s.residuals, r0)
+	}
+	for cyc := 0; cyc < s.p.Cycles; cyc++ {
+		s.vcycle(c, 0)
+		r := s.globalResidual(c)
+		if c.ID == 0 {
+			s.residuals = append(s.residuals, r)
+		}
+	}
+}
+
+// check requires each V-cycle to shrink the finest-grid residual, the
+// defining property of a working multigrid solver.
+func check(w *shm.World, st any) error {
+	s := st.(*state)
+	if len(s.residuals) != s.p.Cycles+1 {
+		return fmt.Errorf("ocean: recorded %d residuals, want %d", len(s.residuals), s.p.Cycles+1)
+	}
+	for i := 1; i < len(s.residuals); i++ {
+		prev, cur := s.residuals[i-1], s.residuals[i]
+		if math.IsNaN(cur) || math.IsInf(cur, 0) {
+			return fmt.Errorf("ocean: residual diverged at cycle %d: %g", i, cur)
+		}
+		if !(cur < prev) {
+			return fmt.Errorf("ocean: V-cycle %d did not reduce the residual (%g -> %g)", i, prev, cur)
+		}
+	}
+	// Multigrid should converge fast: demand at least 10x total reduction.
+	if s.residuals[len(s.residuals)-1] > s.residuals[0]/10 {
+		return fmt.Errorf("ocean: weak convergence %g -> %g", s.residuals[0], s.residuals[len(s.residuals)-1])
+	}
+	return nil
+}

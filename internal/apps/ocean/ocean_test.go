@@ -1,0 +1,11 @@
+package ocean
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+)
+
+func TestOcean(t *testing.T) {
+	apptest.Exercise(t, New(Small()))
+}

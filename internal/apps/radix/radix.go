@@ -1,0 +1,156 @@
+// Package radix implements the SPLASH-2 Radix sort kernel: iterative
+// counting sort over digit groups, with the permutation phase performing the
+// highly scattered remote writes that make Radix the paper's most
+// bandwidth- and contention-bound application.
+package radix
+
+import (
+	"fmt"
+
+	"svmsim/internal/apps/appkit"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// Params sizes the problem.
+type Params struct {
+	N          int // number of keys
+	RadixBits  int // digit width (radix = 1<<RadixBits)
+	MaxKeyBits int // keys drawn from [0, 2^MaxKeyBits)
+	OpCycles   uint64
+}
+
+// Small returns a test-sized problem.
+func Small() Params { return Params{N: 32768, RadixBits: 6, MaxKeyBits: 18, OpCycles: 30} }
+
+// Default returns the benchmark-sized problem.
+func Default() Params { return Params{N: 131072, RadixBits: 8, MaxKeyBits: 24, OpCycles: 30} }
+
+type state struct {
+	p     Params
+	src   appkit.Vec // keys (ping)
+	dst   appkit.Vec // keys (pong)
+	hist  appkit.Vec // per-proc histograms: proc-major [proc][radix]
+	input []uint64   // private copy for validation
+}
+
+// New builds the application.
+func New(p Params) machine.App {
+	return machine.App{
+		Name:  "Radix",
+		Setup: func(w *shm.World) any { return setup(w, p) },
+		Body:  body,
+		Check: check,
+	}
+}
+
+func setup(w *shm.World, p Params) *state {
+	s := &state{p: p}
+	s.src = appkit.AllocVecPages(w, p.N)
+	s.dst = appkit.AllocVecPages(w, p.N)
+	appkit.BlockHome(w, s.src, p.N)
+	appkit.BlockHome(w, s.dst, p.N)
+	radix := 1 << p.RadixBits
+	s.hist = appkit.AllocVecPages(w, w.Procs()*radix)
+	// Deterministic pseudo-random keys.
+	s.input = make([]uint64, p.N)
+	x := uint64(88172645463325252)
+	mask := uint64(1)<<p.MaxKeyBits - 1
+	for i := range s.input {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		s.input[i] = x & mask
+	}
+	return s
+}
+
+func body(c *shm.Proc, st any) {
+	s := st.(*state)
+	radix := 1 << s.p.RadixBits
+	lo, hi := c.Block(s.p.N)
+	// Parallel init of the key array.
+	for i := lo; i < hi; i++ {
+		s.src.SetU(c, i, s.input[i])
+	}
+	c.Barrier()
+
+	src, dst := s.src, s.dst
+	for shift := 0; shift < s.p.MaxKeyBits; shift += s.p.RadixBits {
+		// Phase 1: local histogram (private), then publish to shared.
+		counts := make([]int, radix)
+		for i := lo; i < hi; i++ {
+			d := int(src.GetU(c, i)>>shift) & (radix - 1)
+			counts[d]++
+		}
+		c.Compute(uint64(hi-lo) * s.p.OpCycles)
+		for d := 0; d < radix; d++ {
+			s.hist.SetU(c, c.ID*radix+d, uint64(counts[d]))
+		}
+		c.Barrier()
+		// Phase 2: compute this processor's write offsets by scanning all
+		// histograms: offset[d] = (keys with digit < d anywhere) + (keys
+		// with digit d on earlier processors).
+		offsets := make([]int, radix)
+		base := 0
+		for d := 0; d < radix; d++ {
+			offsets[d] = base
+			for pr := 0; pr < c.N; pr++ {
+				n := int(s.hist.GetU(c, pr*radix+d))
+				if pr < c.ID {
+					offsets[d] += n
+				}
+				base += n
+			}
+		}
+		c.Compute(uint64(radix*c.N) * s.p.OpCycles)
+		// Phase 3: permute — the scattered remote writes.
+		for i := lo; i < hi; i++ {
+			k := src.GetU(c, i)
+			d := int(k>>shift) & (radix - 1)
+			dst.SetU(c, offsets[d], k)
+			offsets[d]++
+		}
+		c.Barrier()
+		src, dst = dst, src
+	}
+	// Note which array holds the result (even number of passes -> src role).
+	_ = src
+}
+
+// check verifies the output is sorted and a permutation of the input.
+func check(w *shm.World, st any) error {
+	s := st.(*state)
+	passes := (s.p.MaxKeyBits + s.p.RadixBits - 1) / s.p.RadixBits
+	out := s.src
+	if passes%2 == 1 {
+		out = s.dst
+	}
+	read := func(i int) uint64 {
+		addr := out.At(i)
+		home := w.Sys.Home(w.Sys.PageOf(addr))
+		return w.Sys.Nodes[home].ReadWord(addr)
+	}
+	var prev uint64
+	counts := map[uint64]int{}
+	for _, k := range s.input {
+		counts[k]++
+	}
+	for i := 0; i < s.p.N; i++ {
+		k := read(i)
+		if k < prev {
+			return fmt.Errorf("radix: out of order at %d: %d < %d", i, k, prev)
+		}
+		prev = k
+		counts[k]--
+		if counts[k] < 0 {
+			return fmt.Errorf("radix: key %d appears too often", k)
+		}
+	}
+	for k, n := range counts {
+		if n != 0 {
+			return fmt.Errorf("radix: key %d count off by %d", k, n)
+		}
+	}
+	return nil
+}

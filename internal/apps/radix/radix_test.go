@@ -1,0 +1,26 @@
+package radix
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+	"svmsim/internal/machine"
+	"svmsim/internal/stats"
+)
+
+func TestRadix(t *testing.T) {
+	apptest.Exercise(t, New(Small()))
+}
+
+func TestRadixScattersWrites(t *testing.T) {
+	res, err := machine.Run(apptest.SmallConfig(), New(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The permutation phase writes remotely allocated pages: diffs (or
+	// fetches) must be plentiful relative to barriers.
+	diffs := res.Run.Sum(func(p *stats.Proc) uint64 { return p.DiffsCreated })
+	if diffs == 0 {
+		t.Fatal("radix permutation produced no diffs")
+	}
+}

@@ -1,0 +1,43 @@
+package raytrace
+
+import (
+	"math"
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+	"svmsim/internal/machine"
+)
+
+// TestDebugLostPixels localizes missing pixels per node copy under HLRC.
+func TestDebugLostPixels(t *testing.T) {
+	p := Small()
+	res, err := machine.Run(apptest.SmallConfig(), New(p))
+	if err == nil {
+		return // nothing to debug
+	}
+	s := res.State.(*state)
+	w := res.World
+	bad := 0
+	for i := range s.want {
+		addr := s.img.At(i)
+		home := w.Sys.Home(w.Sys.PageOf(addr))
+		if home < 0 {
+			t.Logf("pixel %d (y=%d x=%d): page unhomed", i, i/p.Width, i%p.Width)
+			bad++
+			continue
+		}
+		got := math.Float64frombits(w.Sys.Nodes[home].ReadWord(addr))
+		if math.Abs(got-s.want[i]) > 1e-9 {
+			var vals []float64
+			for n := range w.Sys.Nodes {
+				vals = append(vals, math.Float64frombits(w.Sys.Nodes[n].ReadWord(addr)))
+			}
+			t.Logf("pixel %d (y=%d x=%d): want %.4f home=n%d nodes=%.4f", i, i/p.Width, i%p.Width, s.want[i], home, vals)
+			bad++
+			if bad > 40 {
+				break
+			}
+		}
+	}
+	t.Fatalf("original error: %v (%d bad pixels shown)", err, bad)
+}

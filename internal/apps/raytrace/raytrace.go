@@ -1,0 +1,238 @@
+// Package raytrace implements the paper's Raytrace workload: a Whitted-style
+// ray tracer over a read-mostly shared scene (spheres plus a ground plane),
+// with image tiles distributed through per-processor task queues with
+// stealing — the structure of the SVM-optimized SPLASH-2 version the paper
+// uses (better task queues, no unnecessary global lock).
+package raytrace
+
+import (
+	"fmt"
+	"math"
+
+	"svmsim/internal/apps/appkit"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// Params sizes the problem.
+type Params struct {
+	Width, Height int
+	Tile          int
+	Spheres       int
+	Bounces       int
+	RayCycles     uint64
+}
+
+// Small returns a test-sized problem.
+func Small() Params {
+	return Params{Width: 64, Height: 64, Tile: 8, Spheres: 16, Bounces: 1, RayCycles: 400}
+}
+
+// Default returns the benchmark-sized problem.
+func Default() Params {
+	return Params{Width: 96, Height: 96, Tile: 8, Spheres: 32, Bounces: 2, RayCycles: 400}
+}
+
+// Sphere record: cx, cy, cz, r, red, green, blue, reflect = 8 words.
+const sphWords = 8
+
+type state struct {
+	p      Params
+	scene  appkit.Vec
+	img    appkit.Vec
+	queues *appkit.TaskQueues
+	want   []float64 // private reference render
+}
+
+// New builds the application.
+func New(p Params) machine.App {
+	return machine.App{
+		Name:  "Raytrace",
+		Setup: func(w *shm.World) any { return setup(w, p) },
+		Body:  body,
+		Check: check,
+	}
+}
+
+type sphere struct {
+	cx, cy, cz, r, cr, cg, cb, refl float64
+}
+
+func genScene(p Params) []sphere {
+	out := make([]sphere, p.Spheres)
+	x := uint64(0x9e3779b97f4a7c15)
+	rnd := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%100000) / 100000
+	}
+	for i := range out {
+		out[i] = sphere{
+			cx: rnd()*8 - 4, cy: rnd()*3 - 0.5, cz: -3 - rnd()*6,
+			r:  0.3 + rnd()*0.7,
+			cr: 0.2 + rnd()*0.8, cg: 0.2 + rnd()*0.8, cb: 0.2 + rnd()*0.8,
+			refl: rnd() * 0.6,
+		}
+	}
+	return out
+}
+
+func setup(w *shm.World, p Params) *state {
+	s := &state{p: p}
+	s.scene = appkit.AllocVecPages(w, p.Spheres*sphWords)
+	s.img = appkit.AllocVecPages(w, p.Width*p.Height)
+	tiles := ((p.Width + p.Tile - 1) / p.Tile) * ((p.Height + p.Tile - 1) / p.Tile)
+	s.queues = appkit.NewTaskQueues(w, w.Procs(), tiles+4)
+	// Private reference render for validation.
+	scn := genScene(p)
+	s.want = make([]float64, p.Width*p.Height)
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			s.want[y*p.Width+x] = tracePixel(scn, p, x, y)
+		}
+	}
+	return s
+}
+
+// readScene loads the shared scene into a private cache (charged reads).
+func (s *state) readScene(c *shm.Proc) []sphere {
+	out := make([]sphere, s.p.Spheres)
+	for i := range out {
+		b := i * sphWords
+		out[i] = sphere{
+			cx: s.scene.GetF(c, b), cy: s.scene.GetF(c, b+1), cz: s.scene.GetF(c, b+2),
+			r:  s.scene.GetF(c, b+3),
+			cr: s.scene.GetF(c, b+4), cg: s.scene.GetF(c, b+5), cb: s.scene.GetF(c, b+6),
+			refl: s.scene.GetF(c, b+7),
+		}
+	}
+	return out
+}
+
+// trace returns the luminance along a ray.
+func trace(scn []sphere, ox, oy, oz, dx, dy, dz float64, depth int) float64 {
+	// Find nearest sphere hit.
+	best := math.Inf(1)
+	bi := -1
+	for i, sp := range scn {
+		lx, ly, lz := ox-sp.cx, oy-sp.cy, oz-sp.cz
+		b := lx*dx + ly*dy + lz*dz
+		cc := lx*lx + ly*ly + lz*lz - sp.r*sp.r
+		disc := b*b - cc
+		if disc < 0 {
+			continue
+		}
+		t := -b - math.Sqrt(disc)
+		if t > 1e-4 && t < best {
+			best = t
+			bi = i
+		}
+	}
+	// Ground plane y = -1.
+	if dy < 0 {
+		t := (-1 - oy) / dy
+		if t > 1e-4 && t < best {
+			// Checkerboard luminance.
+			px, pz := ox+t*dx, oz+t*dz
+			v := 0.3
+			if (int(math.Floor(px))+int(math.Floor(pz)))%2 == 0 {
+				v = 0.9
+			}
+			return v
+		}
+	}
+	if bi < 0 {
+		return 0.1 + 0.2*math.Max(0, dy) // sky gradient
+	}
+	sp := scn[bi]
+	hx, hy, hz := ox+best*dx, oy+best*dy, oz+best*dz
+	nx, ny, nz := (hx-sp.cx)/sp.r, (hy-sp.cy)/sp.r, (hz-sp.cz)/sp.r
+	// One directional light.
+	lx, ly, lz := 0.5773, 0.5773, 0.5773
+	diff := math.Max(0, nx*lx+ny*ly+nz*lz)
+	// Shadow test.
+	for _, q := range scn {
+		qx, qy, qz := hx-q.cx, hy-q.cy, hz-q.cz
+		b := qx*lx + qy*ly + qz*lz
+		cc := qx*qx + qy*qy + qz*qz - q.r*q.r
+		if b*b-cc >= 0 && -b-math.Sqrt(b*b-cc) > 1e-4 {
+			diff = 0
+			break
+		}
+	}
+	lum := (sp.cr + sp.cg + sp.cb) / 3 * (0.15 + 0.85*diff)
+	if depth > 0 && sp.refl > 0 {
+		d := dx*nx + dy*ny + dz*nz
+		rx, ry, rz := dx-2*d*nx, dy-2*d*ny, dz-2*d*nz
+		lum = lum*(1-sp.refl) + sp.refl*trace(scn, hx, hy, hz, rx, ry, rz, depth-1)
+	}
+	return lum
+}
+
+func tracePixel(scn []sphere, p Params, x, y int) float64 {
+	u := (float64(x)+0.5)/float64(p.Width)*2 - 1
+	v := 1 - (float64(y)+0.5)/float64(p.Height)*2
+	dx, dy, dz := u, v, -1.5
+	n := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	return trace(scn, 0, 0.5, 2, dx/n, dy/n, dz/n, p.Bounces)
+}
+
+func body(c *shm.Proc, st any) {
+	s := st.(*state)
+	p := s.p
+	// Parallel init: proc 0 writes the scene; everyone seeds its own queue
+	// with a round-robin share of the tiles.
+	if c.ID == 0 {
+		for i, sp := range genScene(p) {
+			b := i * sphWords
+			s.scene.SetF(c, b, sp.cx)
+			s.scene.SetF(c, b+1, sp.cy)
+			s.scene.SetF(c, b+2, sp.cz)
+			s.scene.SetF(c, b+3, sp.r)
+			s.scene.SetF(c, b+4, sp.cr)
+			s.scene.SetF(c, b+5, sp.cg)
+			s.scene.SetF(c, b+6, sp.cb)
+			s.scene.SetF(c, b+7, sp.refl)
+		}
+	}
+	tw := (p.Width + p.Tile - 1) / p.Tile
+	th := (p.Height + p.Tile - 1) / p.Tile
+	for tile := c.ID; tile < tw*th; tile += c.N {
+		s.queues.Push(c, c.ID, int64(tile))
+	}
+	c.Barrier()
+	scn := s.readScene(c)
+	for {
+		tile, ok := s.queues.Take(c, c.ID)
+		if !ok {
+			break
+		}
+		tx, ty := int(tile)%tw, int(tile)/tw
+		for y := ty * p.Tile; y < (ty+1)*p.Tile && y < p.Height; y++ {
+			for x := tx * p.Tile; x < (tx+1)*p.Tile && x < p.Width; x++ {
+				lum := tracePixel(scn, p, x, y)
+				s.img.SetF(c, y*p.Width+x, lum)
+				c.Compute(p.RayCycles)
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// check compares the shared image against the private reference render.
+func check(w *shm.World, st any) error {
+	s := st.(*state)
+	for i, want := range s.want {
+		addr := s.img.At(i)
+		home := w.Sys.Home(w.Sys.PageOf(addr))
+		if home < 0 {
+			return fmt.Errorf("raytrace: pixel %d never written", i)
+		}
+		got := math.Float64frombits(w.Sys.Nodes[home].ReadWord(addr))
+		if math.Abs(got-want) > 1e-9 {
+			return fmt.Errorf("raytrace: pixel %d = %g, want %g", i, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package raytrace
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+)
+
+func TestRaytrace(t *testing.T) {
+	apptest.Exercise(t, New(Small()))
+}

@@ -1,0 +1,299 @@
+// Package synth provides synthetic microworkloads with precisely controlled
+// sharing patterns. They serve three purposes: protocol stress tests with
+// checkable invariants, microbenchmarks that isolate one communication
+// behavior at a time (the classic sharing patterns of the DSM literature),
+// and building blocks for calibrating the cost model.
+package synth
+
+import (
+	"fmt"
+
+	"svmsim/internal/apps/appkit"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// Pattern selects a sharing pattern.
+type Pattern int
+
+const (
+	// ProducerConsumer: one writer per phase, all others read after a
+	// barrier (single-writer page traffic, read replication).
+	ProducerConsumer Pattern = iota
+	// Migratory: a data block chases a lock around the processors, each
+	// reading and rewriting it (token + page migration).
+	Migratory
+	// FalseSharing: every processor updates its own word of a shared page
+	// under its own lock (multiple concurrent writers to one page).
+	FalseSharing
+	// AllToAll: every processor writes a block, then reads every other
+	// block (transpose-style bandwidth traffic).
+	AllToAll
+	// HotLock: all processors contend on a single lock guarding one
+	// counter word (lock service latency and serialization).
+	HotLock
+	// ReadMostly: one initialization, then everyone repeatedly reads
+	// (replication steady state; traffic should be near zero after the
+	// first fetch).
+	ReadMostly
+)
+
+var patternNames = map[Pattern]string{
+	ProducerConsumer: "producer-consumer",
+	Migratory:        "migratory",
+	FalseSharing:     "false-sharing",
+	AllToAll:         "all-to-all",
+	HotLock:          "hot-lock",
+	ReadMostly:       "read-mostly",
+}
+
+// String returns the pattern's name.
+func (p Pattern) String() string { return patternNames[p] }
+
+// Patterns lists all synthetic patterns.
+func Patterns() []Pattern {
+	return []Pattern{ProducerConsumer, Migratory, FalseSharing, AllToAll, HotLock, ReadMostly}
+}
+
+// Params sizes a synthetic run.
+type Params struct {
+	Pattern Pattern
+	// Words is the size of the shared region in 8-byte words.
+	Words int
+	// Rounds is the number of phases.
+	Rounds int
+	// ComputePerOp is the compute charge between operations.
+	ComputePerOp uint64
+}
+
+// Default returns a balanced configuration for the pattern.
+func Default(p Pattern) Params {
+	return Params{Pattern: p, Words: 2048, Rounds: 4, ComputePerOp: 50}
+}
+
+type state struct {
+	p     Params
+	data  appkit.Vec
+	locks []int
+	// expected final checksum pieces recorded by the app for validation.
+	sum      uint64
+	sumValid bool
+}
+
+// New builds the synthetic workload.
+func New(p Params) machine.App {
+	return machine.App{
+		Name:  "synth-" + p.Pattern.String(),
+		Setup: func(w *shm.World) any { return setup(w, p) },
+		Body:  body,
+		Check: check,
+	}
+}
+
+func setup(w *shm.World, p Params) *state {
+	s := &state{p: p}
+	s.data = appkit.AllocVecPages(w, p.Words)
+	s.locks = w.NewLocks(w.Procs() + 1)
+	return s
+}
+
+func body(c *shm.Proc, st any) {
+	s := st.(*state)
+	switch s.p.Pattern {
+	case ProducerConsumer:
+		bodyProducerConsumer(c, s)
+	case Migratory:
+		bodyMigratory(c, s)
+	case FalseSharing:
+		bodyFalseSharing(c, s)
+	case AllToAll:
+		bodyAllToAll(c, s)
+	case HotLock:
+		bodyHotLock(c, s)
+	case ReadMostly:
+		bodyReadMostly(c, s)
+	}
+}
+
+func bodyProducerConsumer(c *shm.Proc, s *state) {
+	n := s.p.Words
+	for r := 0; r < s.p.Rounds; r++ {
+		producer := r % c.N
+		if c.ID == producer {
+			for i := 0; i < n; i++ {
+				s.data.SetU(c, i, uint64(r*1000000+i))
+				c.Compute(s.p.ComputePerOp)
+			}
+		}
+		c.Barrier()
+		var sum uint64
+		for i := 0; i < n; i += 8 {
+			sum += s.data.GetU(c, i)
+			c.Compute(s.p.ComputePerOp)
+		}
+		want := uint64(0)
+		for i := 0; i < n; i += 8 {
+			want += uint64(r*1000000 + i)
+		}
+		if sum != want {
+			panic(fmt.Sprintf("synth pc: proc %d round %d sum=%d want %d", c.ID, r, sum, want))
+		}
+		c.Barrier()
+	}
+	if c.ID == 0 {
+		s.sum, s.sumValid = 1, true
+	}
+}
+
+func bodyMigratory(c *shm.Proc, s *state) {
+	// Classic migratory data: each acquisition reads the whole block,
+	// verifies the previous holder's writes, and rewrites it — so both the
+	// lock token and the data pages chase each other around the cluster.
+	lock := s.locks[c.N]
+	block := 64 // words rewritten each hop
+	for r := 0; r < s.p.Rounds; r++ {
+		c.Lock(lock)
+		version := s.data.GetU(c, 0)
+		for i := 1; i < block; i++ {
+			if got := s.data.GetU(c, i); version > 0 && got != (version-1)*uint64(block)+uint64(i) {
+				panic(fmt.Sprintf("synth migratory: word %d = %d at version %d", i, got, version))
+			}
+			s.data.SetU(c, i, version*uint64(block)+uint64(i))
+		}
+		s.data.SetU(c, 0, version+1)
+		c.Unlock(lock)
+		c.Compute(s.p.ComputePerOp * 10)
+	}
+	c.Barrier()
+	if c.ID == 0 {
+		s.sum = s.data.GetU(c, 0)
+		s.sumValid = true
+	}
+	c.Barrier()
+}
+
+func bodyFalseSharing(c *shm.Proc, s *state) {
+	// All processors' words live on the same page (first page of data).
+	for r := 0; r < s.p.Rounds*8; r++ {
+		c.Lock(s.locks[c.ID])
+		v := s.data.GetU(c, c.ID)
+		s.data.SetU(c, c.ID, v+1)
+		c.Unlock(s.locks[c.ID])
+		c.Compute(s.p.ComputePerOp)
+	}
+	c.Barrier()
+	if got := s.data.GetU(c, c.ID); got != uint64(s.p.Rounds*8) {
+		panic(fmt.Sprintf("synth fs: proc %d sees %d want %d", c.ID, got, s.p.Rounds*8))
+	}
+	c.Barrier()
+	if c.ID == 0 {
+		s.sum, s.sumValid = 1, true
+	}
+}
+
+func bodyAllToAll(c *shm.Proc, s *state) {
+	n := s.p.Words
+	lo, hi := c.Block(n)
+	for r := 0; r < s.p.Rounds; r++ {
+		for i := lo; i < hi; i++ {
+			s.data.SetU(c, i, uint64(r)<<32|uint64(i))
+			c.Compute(s.p.ComputePerOp)
+		}
+		c.Barrier()
+		var sum uint64
+		for i := 0; i < n; i += 4 {
+			sum += s.data.GetU(c, i) & 0xffffffff
+			c.Compute(s.p.ComputePerOp)
+		}
+		_ = sum
+		c.Barrier()
+	}
+	if c.ID == 0 {
+		s.sum, s.sumValid = 1, true
+	}
+}
+
+func bodyHotLock(c *shm.Proc, s *state) {
+	lock := s.locks[c.N]
+	for r := 0; r < s.p.Rounds*16; r++ {
+		c.Lock(lock)
+		s.data.SetU(c, 0, s.data.GetU(c, 0)+1)
+		c.Unlock(lock)
+		c.Compute(s.p.ComputePerOp)
+	}
+	c.Barrier()
+	if c.ID == 0 {
+		s.sum = s.data.GetU(c, 0)
+		s.sumValid = true
+	}
+	c.Barrier()
+}
+
+func bodyReadMostly(c *shm.Proc, s *state) {
+	n := s.p.Words
+	if c.ID == 0 {
+		for i := 0; i < n; i++ {
+			s.data.SetU(c, i, uint64(i)*7)
+		}
+	}
+	c.Barrier()
+	for r := 0; r < s.p.Rounds*4; r++ {
+		var sum uint64
+		for i := 0; i < n; i += 2 {
+			sum += s.data.GetU(c, i)
+			c.Compute(s.p.ComputePerOp)
+		}
+		if sum == 0 && n > 0 {
+			panic("synth rm: zero checksum")
+		}
+	}
+	c.Barrier()
+	if c.ID == 0 {
+		s.sum, s.sumValid = 1, true
+	}
+}
+
+// check validates the pattern's invariant from the home images.
+func check(w *shm.World, st any) error {
+	s := st.(*state)
+	if !s.sumValid {
+		return fmt.Errorf("synth: run did not record its checksum")
+	}
+	read := func(i int) uint64 {
+		addr := s.data.At(i)
+		home := w.Sys.Home(w.Sys.PageOf(addr))
+		if home < 0 {
+			return 0
+		}
+		return w.Sys.Nodes[home].ReadWord(addr)
+	}
+	switch s.p.Pattern {
+	case Migratory:
+		want := uint64(s.p.Rounds * appProcs(w))
+		if got := read(0); got != want {
+			return fmt.Errorf("synth migratory: turn %d want %d", got, want)
+		}
+	case HotLock:
+		want := uint64(s.p.Rounds * 16 * appProcs(w))
+		if got := read(0); got != want {
+			return fmt.Errorf("synth hot-lock: counter %d want %d", got, want)
+		}
+	case FalseSharing:
+		for i := 0; i < appProcs(w); i++ {
+			if got := read(i); got != uint64(s.p.Rounds*8) {
+				return fmt.Errorf("synth false-sharing: word %d = %d want %d", i, got, s.p.Rounds*8)
+			}
+		}
+	}
+	return nil
+}
+
+// appProcs returns the number of application processors that ran (the synth
+// bodies use c.N, which may exclude reserved protocol processors).
+func appProcs(w *shm.World) int {
+	// The checks above are only exercised through machine.Run, which runs
+	// the body on every processor unless a dedicated protocol processor is
+	// reserved; synth tests do not use that mode, so the physical count is
+	// the app count.
+	return w.Procs()
+}

@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+	"svmsim/internal/machine"
+	"svmsim/internal/stats"
+)
+
+func TestAllPatterns(t *testing.T) {
+	for _, p := range Patterns() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			apptest.Exercise(t, New(Default(p)))
+		})
+	}
+}
+
+// TestPatternTrafficShapes checks that each pattern produces the traffic it
+// is designed to isolate.
+func TestPatternTrafficShapes(t *testing.T) {
+	run := func(p Pattern) *machine.Result {
+		res, err := machine.Run(apptest.SmallConfig(), New(Default(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sum := func(r *machine.Result, f func(*stats.Proc) uint64) uint64 { return r.Run.Sum(f) }
+	fetches := func(p *stats.Proc) uint64 { return p.PageFetches }
+	remote := func(p *stats.Proc) uint64 { return p.RemoteLocks }
+	diffs := func(p *stats.Proc) uint64 { return p.DiffsCreated }
+
+	rm := run(ReadMostly)
+	a2a := run(AllToAll)
+	if sum(rm, fetches) >= sum(a2a, fetches) {
+		t.Errorf("read-mostly fetched %d pages, all-to-all %d; replication broken",
+			sum(rm, fetches), sum(a2a, fetches))
+	}
+	if sum(rm, diffs) != 0 {
+		t.Errorf("read-mostly produced %d diffs", sum(rm, diffs))
+	}
+
+	hot := run(HotLock)
+	pc := run(ProducerConsumer)
+	if sum(hot, remote) <= sum(pc, remote) {
+		t.Errorf("hot-lock remote acquires (%d) should exceed producer-consumer's (%d)",
+			sum(hot, remote), sum(pc, remote))
+	}
+
+	fs := run(FalseSharing)
+	if sum(fs, diffs) == 0 {
+		t.Error("false sharing produced no diffs")
+	}
+}
+
+// TestMigratoryTokenChases checks the migratory pattern moves the lock
+// around all nodes.
+func TestMigratoryTokenChases(t *testing.T) {
+	res, err := machine.Run(apptest.SmallConfig(), New(Default(Migratory)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesWithRemote := 0
+	for n := 0; n < res.Run.NodeCount; n++ {
+		var r uint64
+		for l := 0; l < res.Run.ProcsPerNode; l++ {
+			r += res.Run.Procs[n*res.Run.ProcsPerNode+l].RemoteLocks
+		}
+		if r > 0 {
+			nodesWithRemote++
+		}
+	}
+	if nodesWithRemote < res.Run.NodeCount-1 {
+		t.Errorf("migratory lock visited only %d/%d nodes remotely", nodesWithRemote, res.Run.NodeCount)
+	}
+}

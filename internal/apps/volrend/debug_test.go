@@ -1,0 +1,103 @@
+package volrend
+
+import (
+	"math"
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// TestDebugLostScanline instruments the volrend body to find which pixels go
+// missing under HLRC and who rendered them.
+func TestDebugLostScanline(t *testing.T) {
+	p := Small()
+	base := New(p)
+	rendered := make([]int, p.Height) // proc that rendered each scanline
+	for i := range rendered {
+		rendered[i] = -1
+	}
+	app := machine.App{
+		Name:  base.Name,
+		Setup: base.Setup,
+		Body: func(c *shm.Proc, st any) {
+			s := st.(*state)
+			words := p.Vol * p.Vol * p.Vol / 8
+			lo, hi := c.Block(words)
+			for wIdx := lo; wIdx < hi; wIdx++ {
+				var packed uint64
+				for b := 0; b < 8; b++ {
+					lin := wIdx*8 + b
+					x := lin % p.Vol
+					y := (lin / p.Vol) % p.Vol
+					z := lin / (p.Vol * p.Vol)
+					packed |= uint64(density(p, x, y, z)) << (8 * b)
+				}
+				s.vol.SetU(c, wIdx, packed)
+			}
+			sLo, sHi := c.Block(p.Height)
+			for y := sLo; y < sHi; y++ {
+				s.queues.Push(c, c.ID, int64(y))
+			}
+			c.Barrier()
+			sample := func(x, y, z int) uint8 {
+				word, off := voxelWordIndex(p, x, y, z)
+				v := s.vol.GetU(c, word)
+				return uint8(v >> (8 * off))
+			}
+			for {
+				task, ok := s.queues.Take(c, c.ID)
+				if !ok {
+					break
+				}
+				y := int(task)
+				rendered[y] = c.ID
+				for x := 0; x < p.Width; x++ {
+					s.img.SetF(c, y*p.Width+x, castRay(p, x, y, sample))
+				}
+			}
+			c.Barrier()
+		},
+	}
+	res, err := machine.Run(apptest.SmallConfig(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.State.(*state)
+	w := res.World
+	for y := 0; y < p.Height; y++ {
+		missing := 0
+		for x := 0; x < p.Width; x++ {
+			i := y*p.Width + x
+			addr := s.img.At(i)
+			home := w.Sys.Home(w.Sys.PageOf(addr))
+			got := math.Float64frombits(w.Sys.Nodes[home].ReadWord(addr))
+			if math.Abs(got-s.want[i]) > 1e-9 {
+				missing++
+			}
+		}
+		if missing > 0 {
+			t.Errorf("scanline %d: %d bad pixels (rendered by proc %d)", y, missing, rendered[y])
+		}
+	}
+	for y, pr := range rendered {
+		if pr < 0 {
+			t.Errorf("scanline %d never rendered", y)
+		}
+	}
+	// Localize: compare each node's copy for the bad scanline.
+	if t.Failed() {
+		y := 27
+		for x := 0; x < p.Width; x++ {
+			i := y*p.Width + x
+			addr := s.img.At(i)
+			var vals []float64
+			for n := range w.Sys.Nodes {
+				vals = append(vals, math.Float64frombits(w.Sys.Nodes[n].ReadWord(addr)))
+			}
+			ok := math.Abs(vals[int(w.Sys.Home(w.Sys.PageOf(addr)))]-s.want[i]) <= 1e-9
+			t.Logf("x=%2d want=%.4f ok=%v nodes=%.4f", x, s.want[i], ok, vals)
+		}
+	}
+}

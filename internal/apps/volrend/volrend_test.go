@@ -1,0 +1,11 @@
+package volrend
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+)
+
+func TestVolrend(t *testing.T) {
+	apptest.Exercise(t, New(Small()))
+}

@@ -1,0 +1,168 @@
+package water
+
+import (
+	"fmt"
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+func TestDebugSpatialDeadlock(t *testing.T) {
+	p := SmallSpatial()
+	base := New(p)
+	where := make([]string, 8)
+	app := machine.App{
+		Name:  base.Name,
+		Setup: base.Setup,
+		Body: func(c *shm.Proc, st any) {
+			defer func() { where[c.ID] = "done" }()
+			s := st.(*state)
+			bodySpatialTraced(c, s, func(msg string) { where[c.ID] = msg })
+		},
+	}
+	if res, err := machine.Run(apptest.SmallConfig(), app); err != nil {
+		for i, w := range where {
+			t.Logf("proc%d: %s", i, w)
+		}
+		if res != nil {
+			t.Logf("locks:\n%s", res.World.Sys.DumpLocks())
+		}
+		t.Fatal(err)
+	}
+}
+
+func bodySpatialTraced(c *shm.Proc, s *state, trace func(string)) {
+	n := s.p.N
+	nc := s.p.Cells
+	ncells := nc * nc * nc
+	cellSize := s.p.Box / float64(nc)
+	s.initMolecules(c)
+	c.Barrier()
+	cellOf := func(x, y, z float64) int {
+		ci := int(x / cellSize)
+		cj := int(y / cellSize)
+		ck := int(z / cellSize)
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v >= nc {
+				return nc - 1
+			}
+			return v
+		}
+		return (clamp(ci)*nc+clamp(cj))*nc + clamp(ck)
+	}
+	cellBase := func(cell int) int { return cell * (1 + maxPerCell) }
+	lo, hi := c.Block(n)
+	cLo, cHi := c.Block(ncells)
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	fz := make([]float64, n)
+	for step := 0; step < s.p.Steps; step++ {
+		trace(fmt.Sprintf("step %d clear", step))
+		for cell := cLo; cell < cHi; cell++ {
+			s.cells.SetI(c, cellBase(cell), 0)
+		}
+		c.Barrier()
+		trace(fmt.Sprintf("step %d insert", step))
+		for m := lo; m < hi; m++ {
+			x := s.mol.GetF(c, s.addr(m, 0))
+			y := s.mol.GetF(c, s.addr(m, 1))
+			z := s.mol.GetF(c, s.addr(m, 2))
+			cell := cellOf(x, y, z)
+			trace(fmt.Sprintf("step %d insert m=%d lock cell=%d", step, m, cell))
+			c.Lock(s.lcks[cell])
+			cnt := int(s.cells.GetI(c, cellBase(cell)))
+			if cnt < maxPerCell {
+				s.cells.SetI(c, cellBase(cell)+1+cnt, int64(m))
+				s.cells.SetI(c, cellBase(cell), int64(cnt+1))
+			}
+			c.Unlock(s.lcks[cell])
+		}
+		trace(fmt.Sprintf("step %d barrier-after-insert", step))
+		c.Barrier()
+		for i := range fx {
+			fx[i], fy[i], fz[i] = 0, 0, 0
+		}
+		trace(fmt.Sprintf("step %d force", step))
+		for cell := cLo; cell < cHi; cell++ {
+			ci, cj, ck := cell/(nc*nc), (cell/nc)%nc, cell%nc
+			cnt := int(s.cells.GetI(c, cellBase(cell)))
+			for a := 0; a < cnt; a++ {
+				i := int(s.cells.GetI(c, cellBase(cell)+1+a))
+				ax := s.mol.GetF(c, s.addr(i, 0))
+				ay := s.mol.GetF(c, s.addr(i, 1))
+				az := s.mol.GetF(c, s.addr(i, 2))
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							ni, nj, nk := ci+di, cj+dj, ck+dk
+							if ni < 0 || nj < 0 || nk < 0 || ni >= nc || nj >= nc || nk >= nc {
+								continue
+							}
+							ncell := (ni*nc+nj)*nc + nk
+							nCnt := int(s.cells.GetI(c, cellBase(ncell)))
+							for b := 0; b < nCnt; b++ {
+								j := int(s.cells.GetI(c, cellBase(ncell)+1+b))
+								if j <= i {
+									continue
+								}
+								bx := s.mol.GetF(c, s.addr(j, 0))
+								by := s.mol.GetF(c, s.addr(j, 1))
+								bz := s.mol.GetF(c, s.addr(j, 2))
+								gx, gy, gz, _ := pairForce(ax, ay, az, bx, by, bz)
+								fx[i] += gx
+								fy[i] += gy
+								fz[i] += gz
+								fx[j] -= gx
+								fy[j] -= gy
+								fz[j] -= gz
+								c.Compute(s.p.PairCycles)
+							}
+						}
+					}
+				}
+			}
+		}
+		trace(fmt.Sprintf("step %d barrier-after-force", step))
+		c.Barrier()
+		trace(fmt.Sprintf("step %d commit", step))
+		for j := 0; j < n; j++ {
+			jj := (j + lo) % n
+			if fx[jj] == 0 && fy[jj] == 0 && fz[jj] == 0 {
+				continue
+			}
+			l := s.lcks[jj%len(s.lcks)]
+			trace(fmt.Sprintf("step %d commit m=%d lock=%d", step, jj, jj%len(s.lcks)))
+			c.Lock(l)
+			s.mol.SetF(c, s.addr(jj, 6), s.mol.GetF(c, s.addr(jj, 6))+fx[jj])
+			s.mol.SetF(c, s.addr(jj, 7), s.mol.GetF(c, s.addr(jj, 7))+fy[jj])
+			s.mol.SetF(c, s.addr(jj, 8), s.mol.GetF(c, s.addr(jj, 8))+fz[jj])
+			c.Unlock(l)
+		}
+		trace(fmt.Sprintf("step %d integrate", step))
+		c.Barrier()
+		for m := lo; m < hi; m++ {
+			for d := 0; d < 3; d++ {
+				v := s.mol.GetF(c, s.addr(m, 3+d)) + s.p.Dt*s.mol.GetF(c, s.addr(m, 6+d))
+				s.mol.SetF(c, s.addr(m, 3+d), v)
+				x := s.mol.GetF(c, s.addr(m, d)) + s.p.Dt*v
+				if x < 0 {
+					x = -x
+					s.mol.SetF(c, s.addr(m, 3+d), -v)
+				}
+				if x > s.p.Box {
+					x = 2*s.p.Box - x
+					s.mol.SetF(c, s.addr(m, 3+d), -v)
+				}
+				s.mol.SetF(c, s.addr(m, d), x)
+				s.mol.SetF(c, s.addr(m, 6+d), 0)
+			}
+		}
+		trace(fmt.Sprintf("step %d end-barrier", step))
+		c.Barrier()
+	}
+}

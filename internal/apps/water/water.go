@@ -1,0 +1,426 @@
+// Package water implements the two SPLASH-2 Water molecular-dynamics
+// workloads on the simulated shared address space:
+//
+//   - Nsquared: O(n^2/2) pairwise interactions; each processor accumulates
+//     force contributions privately and commits them to the shared molecule
+//     records once per iteration under per-molecule locks (the paper's
+//     description of its update pattern).
+//   - Spatial: a 3-D cell decomposition; processors own cell blocks and only
+//     interact with neighbouring cells, rebuilding lock-protected cell lists
+//     as molecules move.
+//
+// Both use a simple Lennard-Jones-style potential; the physics is reduced
+// but the sharing patterns match the originals.
+package water
+
+import (
+	"fmt"
+	"math"
+
+	"svmsim/internal/apps/appkit"
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+// Variant selects the decomposition.
+type Variant int
+
+const (
+	// Nsquared is the all-pairs version.
+	Nsquared Variant = iota
+	// Spatial is the cell-decomposition version.
+	Spatial
+)
+
+// Params sizes the problem.
+type Params struct {
+	Variant    Variant
+	N          int // molecules
+	Steps      int
+	Cells      int // cells per side (Spatial)
+	Box        float64
+	Dt         float64
+	PairCycles uint64
+}
+
+// SmallNsquared returns a test-sized all-pairs problem.
+func SmallNsquared() Params {
+	return Params{Variant: Nsquared, N: 96, Steps: 2, Box: 9, Dt: 0.002, PairCycles: 400}
+}
+
+// DefaultNsquared returns the benchmark-sized all-pairs problem.
+func DefaultNsquared() Params {
+	return Params{Variant: Nsquared, N: 216, Steps: 2, Box: 12, Dt: 0.002, PairCycles: 400}
+}
+
+// SmallSpatial returns a test-sized cell problem.
+func SmallSpatial() Params {
+	return Params{Variant: Spatial, N: 160, Steps: 2, Cells: 3, Box: 10, Dt: 0.002, PairCycles: 400}
+}
+
+// DefaultSpatial returns the benchmark-sized cell problem.
+func DefaultSpatial() Params {
+	return Params{Variant: Spatial, N: 512, Steps: 2, Cells: 4, Box: 12, Dt: 0.002, PairCycles: 400}
+}
+
+// Molecule record layout (words): x,y,z, vx,vy,vz, fx,fy,fz = 9 words,
+// padded to 16 so records do not straddle lines awkwardly.
+const molWords = 16
+
+const maxPerCell = 64
+
+type state struct {
+	p    Params
+	mol  appkit.Vec
+	lcks []int // per-molecule (nsquared) or per-cell (spatial) locks
+	// Spatial: cell lists: per cell [count, ids...].
+	cells appkit.Vec
+	// Energy reduction for the sanity check.
+	energy   *appkit.Reduction
+	energies []float64 // per step, recorded by proc 0
+}
+
+// New builds the application.
+func New(p Params) machine.App {
+	name := "Water-nsquared"
+	if p.Variant == Spatial {
+		name = "Water-spatial"
+	}
+	return machine.App{
+		Name:  name,
+		Setup: func(w *shm.World) any { return setup(w, p) },
+		Body:  body,
+		Check: check,
+	}
+}
+
+func setup(w *shm.World, p Params) *state {
+	s := &state{p: p}
+	s.mol = appkit.AllocVecPages(w, p.N*molWords)
+	appkit.BlockHome(w, s.mol, p.N*molWords)
+	s.energy = appkit.NewReduction(w)
+	if p.Variant == Nsquared {
+		s.lcks = w.NewLocks(p.N)
+	} else {
+		nc := p.Cells * p.Cells * p.Cells
+		s.lcks = w.NewLocks(nc)
+		s.cells = appkit.AllocVecPages(w, nc*(1+maxPerCell))
+	}
+	return s
+}
+
+func (s *state) addr(m, field int) int { return m*molWords + field }
+
+// initMolecules places molecules on a jittered lattice (deterministic).
+func (s *state) initMolecules(c *shm.Proc) {
+	lo, hi := c.Block(s.p.N)
+	side := int(math.Cbrt(float64(s.p.N))) + 1
+	spacing := s.p.Box / float64(side)
+	for m := lo; m < hi; m++ {
+		i, j, k := m%side, (m/side)%side, m/(side*side)
+		jit := func(q int) float64 {
+			x := uint64(m*1000+q) * 2654435761
+			x ^= x >> 13
+			return (float64(x%1000)/1000 - 0.5) * spacing * 0.3
+		}
+		s.mol.SetF(c, s.addr(m, 0), (float64(i)+0.5)*spacing+jit(0))
+		s.mol.SetF(c, s.addr(m, 1), (float64(j)+0.5)*spacing+jit(1))
+		s.mol.SetF(c, s.addr(m, 2), (float64(k)+0.5)*spacing+jit(2))
+		for f := 3; f < 9; f++ {
+			s.mol.SetF(c, s.addr(m, f), 0)
+		}
+	}
+}
+
+// pairForce computes the truncated LJ force between positions, returning the
+// force on a and the pair potential energy.
+func pairForce(ax, ay, az, bx, by, bz float64) (fx, fy, fz, pot float64) {
+	dx, dy, dz := ax-bx, ay-by, az-bz
+	r2 := dx*dx + dy*dy + dz*dz
+	const rcut2 = 6.25 // cutoff 2.5
+	if r2 > rcut2 || r2 == 0 {
+		return 0, 0, 0, 0
+	}
+	if r2 < 0.64 {
+		r2 = 0.64 // soften the core for stability
+	}
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	f := 24 * inv2 * inv6 * (2*inv6 - 1)
+	return f * dx, f * dy, f * dz, 4 * inv6 * (inv6 - 1)
+}
+
+func body(c *shm.Proc, st any) {
+	s := st.(*state)
+	if s.p.Variant == Nsquared {
+		bodyNsquared(c, s)
+	} else {
+		bodySpatial(c, s)
+	}
+}
+
+func bodyNsquared(c *shm.Proc, s *state) {
+	n := s.p.N
+	lo, hi := c.Block(n)
+	s.initMolecules(c)
+	c.Barrier()
+
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	fz := make([]float64, n)
+	for step := 0; step < s.p.Steps; step++ {
+		// Zero force fields of owned molecules.
+		for m := lo; m < hi; m++ {
+			for f := 6; f < 9; f++ {
+				s.mol.SetF(c, s.addr(m, f), 0)
+			}
+		}
+		c.Barrier()
+		// Force phase: proc owning i computes pairs (i, j) for the next
+		// n/2 molecules cyclically (SPLASH's half-shell split), reading
+		// positions shared and accumulating privately.
+		for i := range fx {
+			fx[i], fy[i], fz[i] = 0, 0, 0
+		}
+		var localPot float64
+		for i := lo; i < hi; i++ {
+			ax := s.mol.GetF(c, s.addr(i, 0))
+			ay := s.mol.GetF(c, s.addr(i, 1))
+			az := s.mol.GetF(c, s.addr(i, 2))
+			for off := 1; off <= n/2; off++ {
+				j := (i + off) % n
+				if n%2 == 0 && off == n/2 && i > j {
+					continue // avoid double-counting the opposite pair
+				}
+				bx := s.mol.GetF(c, s.addr(j, 0))
+				by := s.mol.GetF(c, s.addr(j, 1))
+				bz := s.mol.GetF(c, s.addr(j, 2))
+				gx, gy, gz, pot := pairForce(ax, ay, az, bx, by, bz)
+				fx[i] += gx
+				fy[i] += gy
+				fz[i] += gz
+				fx[j] -= gx
+				fy[j] -= gy
+				fz[j] -= gz
+				localPot += pot
+				c.Compute(s.p.PairCycles)
+			}
+		}
+		c.Barrier()
+		// Commit accumulated forces to the shared records under
+		// per-molecule locks (the paper's update pattern).
+		for j := 0; j < n; j++ {
+			jj := (j + lo) % n // stagger lock order across procs
+			if fx[jj] == 0 && fy[jj] == 0 && fz[jj] == 0 {
+				continue
+			}
+			c.Lock(s.lcks[jj])
+			s.mol.SetF(c, s.addr(jj, 6), s.mol.GetF(c, s.addr(jj, 6))+fx[jj])
+			s.mol.SetF(c, s.addr(jj, 7), s.mol.GetF(c, s.addr(jj, 7))+fy[jj])
+			s.mol.SetF(c, s.addr(jj, 8), s.mol.GetF(c, s.addr(jj, 8))+fz[jj])
+			c.Unlock(s.lcks[jj])
+		}
+		c.Barrier()
+		// Integrate owned molecules and accumulate kinetic + potential
+		// energy.
+		var localKin float64
+		for m := lo; m < hi; m++ {
+			for d := 0; d < 3; d++ {
+				v := s.mol.GetF(c, s.addr(m, 3+d)) + s.p.Dt*s.mol.GetF(c, s.addr(m, 6+d))
+				s.mol.SetF(c, s.addr(m, 3+d), v)
+				x := s.mol.GetF(c, s.addr(m, d)) + s.p.Dt*v
+				// Reflecting walls keep the box bounded.
+				if x < 0 {
+					x = -x
+					s.mol.SetF(c, s.addr(m, 3+d), -v)
+				}
+				if x > s.p.Box {
+					x = 2*s.p.Box - x
+					s.mol.SetF(c, s.addr(m, 3+d), -v)
+				}
+				if x < 0 {
+					x = 0.001 * s.p.Box
+				}
+				if x > s.p.Box {
+					x = 0.999 * s.p.Box
+				}
+				s.mol.SetF(c, s.addr(m, d), x)
+				localKin += 0.5 * v * v
+			}
+			c.Compute(12 * s.p.PairCycles)
+		}
+		s.energy.AddF64(c, localKin+localPot)
+		c.Barrier()
+		if c.ID == 0 {
+			s.energies = append(s.energies, s.energy.Read(c))
+			s.energy.Reset(c)
+		}
+		c.Barrier()
+	}
+}
+
+func bodySpatial(c *shm.Proc, s *state) {
+	n := s.p.N
+	nc := s.p.Cells
+	ncells := nc * nc * nc
+	cellSize := s.p.Box / float64(nc)
+	s.initMolecules(c)
+	c.Barrier()
+
+	cellOf := func(x, y, z float64) int {
+		ci := int(x / cellSize)
+		cj := int(y / cellSize)
+		ck := int(z / cellSize)
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v >= nc {
+				return nc - 1
+			}
+			return v
+		}
+		return (clamp(ci)*nc+clamp(cj))*nc + clamp(ck)
+	}
+	cellBase := func(cell int) int { return cell * (1 + maxPerCell) }
+
+	lo, hi := c.Block(n)
+	cLo, cHi := c.Block(ncells)
+
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	fz := make([]float64, n)
+
+	for step := 0; step < s.p.Steps; step++ {
+		// Rebuild cell lists: clear owned cells, then insert owned
+		// molecules under cell locks.
+		for cell := cLo; cell < cHi; cell++ {
+			s.cells.SetI(c, cellBase(cell), 0)
+		}
+		c.Barrier()
+		for m := lo; m < hi; m++ {
+			x := s.mol.GetF(c, s.addr(m, 0))
+			y := s.mol.GetF(c, s.addr(m, 1))
+			z := s.mol.GetF(c, s.addr(m, 2))
+			cell := cellOf(x, y, z)
+			c.Lock(s.lcks[cell])
+			cnt := int(s.cells.GetI(c, cellBase(cell)))
+			if cnt < maxPerCell {
+				s.cells.SetI(c, cellBase(cell)+1+cnt, int64(m))
+				s.cells.SetI(c, cellBase(cell), int64(cnt+1))
+			}
+			c.Unlock(s.lcks[cell])
+		}
+		c.Barrier()
+		// Force phase over owned cells and their neighbours.
+		for i := range fx {
+			fx[i], fy[i], fz[i] = 0, 0, 0
+		}
+		var localPot float64
+		for cell := cLo; cell < cHi; cell++ {
+			ci, cj, ck := cell/(nc*nc), (cell/nc)%nc, cell%nc
+			cnt := int(s.cells.GetI(c, cellBase(cell)))
+			for a := 0; a < cnt; a++ {
+				i := int(s.cells.GetI(c, cellBase(cell)+1+a))
+				ax := s.mol.GetF(c, s.addr(i, 0))
+				ay := s.mol.GetF(c, s.addr(i, 1))
+				az := s.mol.GetF(c, s.addr(i, 2))
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							ni, nj, nk := ci+di, cj+dj, ck+dk
+							if ni < 0 || nj < 0 || nk < 0 || ni >= nc || nj >= nc || nk >= nc {
+								continue
+							}
+							ncell := (ni*nc+nj)*nc + nk
+							nCnt := int(s.cells.GetI(c, cellBase(ncell)))
+							for b := 0; b < nCnt; b++ {
+								j := int(s.cells.GetI(c, cellBase(ncell)+1+b))
+								if j <= i {
+									continue // each pair once, by index order
+								}
+								bx := s.mol.GetF(c, s.addr(j, 0))
+								by := s.mol.GetF(c, s.addr(j, 1))
+								bz := s.mol.GetF(c, s.addr(j, 2))
+								gx, gy, gz, pot := pairForce(ax, ay, az, bx, by, bz)
+								fx[i] += gx
+								fy[i] += gy
+								fz[i] += gz
+								fx[j] -= gx
+								fy[j] -= gy
+								fz[j] -= gz
+								localPot += pot
+								c.Compute(s.p.PairCycles)
+							}
+						}
+					}
+				}
+			}
+		}
+		c.Barrier()
+		// Commit forces under molecule-owner writes: here forces may touch
+		// any molecule, so use the cell locks hashed by molecule index.
+		for j := 0; j < n; j++ {
+			jj := (j + lo) % n
+			if fx[jj] == 0 && fy[jj] == 0 && fz[jj] == 0 {
+				continue
+			}
+			l := s.lcks[jj%len(s.lcks)]
+			c.Lock(l)
+			s.mol.SetF(c, s.addr(jj, 6), s.mol.GetF(c, s.addr(jj, 6))+fx[jj])
+			s.mol.SetF(c, s.addr(jj, 7), s.mol.GetF(c, s.addr(jj, 7))+fy[jj])
+			s.mol.SetF(c, s.addr(jj, 8), s.mol.GetF(c, s.addr(jj, 8))+fz[jj])
+			c.Unlock(l)
+		}
+		c.Barrier()
+		// Zero-force reset happens at integration: integrate owned
+		// molecules.
+		var localKin float64
+		for m := lo; m < hi; m++ {
+			for d := 0; d < 3; d++ {
+				v := s.mol.GetF(c, s.addr(m, 3+d)) + s.p.Dt*s.mol.GetF(c, s.addr(m, 6+d))
+				s.mol.SetF(c, s.addr(m, 3+d), v)
+				x := s.mol.GetF(c, s.addr(m, d)) + s.p.Dt*v
+				if x < 0 {
+					x = -x
+					s.mol.SetF(c, s.addr(m, 3+d), -v)
+				}
+				if x > s.p.Box {
+					x = 2*s.p.Box - x
+					s.mol.SetF(c, s.addr(m, 3+d), -v)
+				}
+				if x < 0 {
+					x = 0.001 * s.p.Box
+				}
+				if x > s.p.Box {
+					x = 0.999 * s.p.Box
+				}
+				s.mol.SetF(c, s.addr(m, d), x)
+				s.mol.SetF(c, s.addr(m, 6+d), 0)
+				localKin += 0.5 * v * v
+			}
+			c.Compute(12 * s.p.PairCycles)
+		}
+		s.energy.AddF64(c, localKin+localPot)
+		c.Barrier()
+		if c.ID == 0 {
+			s.energies = append(s.energies, s.energy.Read(c))
+			s.energy.Reset(c)
+		}
+		c.Barrier()
+	}
+}
+
+// check requires finite, recorded energies for every step.
+func check(w *shm.World, st any) error {
+	s := st.(*state)
+	if len(s.energies) != s.p.Steps {
+		return fmt.Errorf("water: recorded %d energies, want %d", len(s.energies), s.p.Steps)
+	}
+	for i, e := range s.energies {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("water: step %d energy diverged: %g", i, e)
+		}
+	}
+	return nil
+}

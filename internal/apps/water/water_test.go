@@ -1,0 +1,15 @@
+package water
+
+import (
+	"testing"
+
+	"svmsim/internal/apps/apptest"
+)
+
+func TestWaterNsquared(t *testing.T) {
+	apptest.Exercise(t, New(SmallNsquared()))
+}
+
+func TestWaterSpatial(t *testing.T) {
+	apptest.Exercise(t, New(SmallSpatial()))
+}

@@ -1,0 +1,348 @@
+// Package engine provides the deterministic discrete-event simulation core
+// that the SVM cluster model is built on.
+//
+// The engine combines a classic event heap with cooperative threads: each
+// simulated processor (and each protocol handler) is a goroutine, but at most
+// one goroutine runs at any instant, and control transfers are explicit
+// (Delay, Park, condition waits). Event ties at the same cycle are broken by
+// a monotonically increasing sequence number, so a given program produces a
+// bit-identical schedule on every run.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Time is simulated time in processor clock cycles.
+type Time = uint64
+
+// Forever is a sentinel "infinitely far in the future" time.
+const Forever Time = ^Time(0)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Sim is a discrete-event simulator instance. It is not safe for concurrent
+// use from outside; all model code runs under the simulator's own cooperative
+// scheduling.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	current *Thread
+	live    map[*Thread]struct{}
+	yield   chan struct{} // thread -> scheduler handoff
+	killed  chan struct{} // closed to unwind parked threads on teardown
+	dead    bool
+	failure error // set when a thread panics; Run stops and reports it
+
+	// MaxEvents bounds the number of dispatched events as a livelock guard.
+	// Zero means the default (see Run).
+	MaxEvents uint64
+}
+
+// New creates an empty simulator at time zero.
+func New() *Sim {
+	return &Sim{
+		live:   make(map[*Thread]struct{}),
+		yield:  make(chan struct{}),
+		killed: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time in cycles.
+func (s *Sim) Now() Time { return s.now }
+
+// Current returns the thread that is executing right now, or nil when the
+// scheduler is running a plain callback event.
+func (s *Sim) Current() *Thread { return s.current }
+
+// At schedules fn to run after delay cycles. fn runs in scheduler context
+// (no current thread); it must not block.
+func (s *Sim) At(delay Time, fn func()) {
+	s.schedule(s.now+delay, fn)
+}
+
+func (s *Sim) schedule(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("engine: scheduling into the past (at=%d now=%d)", at, s.now))
+	}
+	s.seq++
+	s.events.push(event{at: at, seq: s.seq, fn: fn})
+}
+
+// errUnwind is panicked inside parked threads when the simulation tears down
+// so their goroutines exit instead of leaking.
+var errUnwind = errors.New("engine: simulation torn down")
+
+// Thread is a cooperative simulated thread of control (a simulated processor
+// context or a protocol handler context).
+type Thread struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	parked bool
+	done   bool
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Sim returns the simulator this thread belongs to.
+func (t *Thread) Sim() *Sim { return t.sim }
+
+// Spawn creates a thread named name that will begin executing fn at the
+// current simulated time. When fn returns the thread terminates.
+func (s *Sim) Spawn(name string, fn func(t *Thread)) *Thread {
+	t := &Thread{sim: s, name: name, resume: make(chan struct{})}
+	s.live[t] = struct{}{}
+	go func() {
+		// Wait for the first dispatch.
+		if !t.awaitResume() {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errUnwind) {
+					return // orderly teardown
+				}
+				// Surface model/application panics as a simulation failure
+				// instead of crashing the host process: hand control back
+				// to the scheduler, which stops and reports.
+				if s.failure == nil {
+					s.failure = &ThreadPanicError{Thread: t.name, Value: r, Stack: string(stackTrace())}
+				}
+				t.done = true
+				delete(s.live, t)
+				s.yield <- struct{}{}
+				return
+			}
+		}()
+		fn(t)
+		t.done = true
+		delete(s.live, t)
+		s.yield <- struct{}{}
+	}()
+	s.schedule(s.now, func() { s.switchTo(t) })
+	return t
+}
+
+// awaitResume blocks the goroutine until the scheduler dispatches this
+// thread, returning false if the simulation was torn down instead.
+func (t *Thread) awaitResume() bool {
+	select {
+	case <-t.resume:
+		return true
+	case <-t.sim.killed:
+		return false
+	}
+}
+
+// switchTo transfers control from the scheduler to t and waits for it to
+// yield back.
+func (s *Sim) switchTo(t *Thread) {
+	if t.done {
+		return
+	}
+	prev := s.current
+	s.current = t
+	t.parked = false
+	t.resume <- struct{}{}
+	<-s.yield
+	s.current = prev
+}
+
+// park suspends the calling thread until something unparks it.
+func (t *Thread) park() {
+	t.parked = true
+	t.sim.yield <- struct{}{}
+	select {
+	case <-t.resume:
+	case <-t.sim.killed:
+		panic(errUnwind)
+	}
+}
+
+// Delay advances the thread's local view of time by n cycles: the thread is
+// suspended and resumes once the simulation clock has moved n cycles forward.
+func (t *Thread) Delay(n Time) {
+	s := t.sim
+	s.schedule(s.now+n, func() { s.switchTo(t) })
+	t.park()
+}
+
+// Park suspends the thread indefinitely; a matching Unpark (from a callback
+// or another thread) resumes it at the then-current time.
+func (t *Thread) Park() { t.park() }
+
+// Unpark schedules the thread to resume at the current simulated time. It
+// may be called from callbacks or other threads. Unparking a thread that is
+// not parked is a model bug and panics at dispatch.
+func (t *Thread) Unpark() {
+	s := t.sim
+	s.schedule(s.now, func() {
+		if t.done {
+			return
+		}
+		if !t.parked {
+			panic(fmt.Sprintf("engine: Unpark of runnable thread %q", t.name))
+		}
+		s.switchTo(t)
+	})
+}
+
+// ThreadPanicError reports a panic inside a simulated thread.
+type ThreadPanicError struct {
+	Thread string
+	Value  any
+	Stack  string
+}
+
+func (e *ThreadPanicError) Error() string {
+	return fmt.Sprintf("engine: thread %q panicked: %v", e.Thread, e.Value)
+}
+
+func stackTrace() []byte {
+	buf := make([]byte, 16<<10)
+	n := runtime.Stack(buf, false)
+	return buf[:n]
+}
+
+// DeadlockError reports that the event queue drained while threads were
+// still parked.
+type DeadlockError struct {
+	Now     Time
+	Threads []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("engine: deadlock at cycle %d; parked threads: %v", e.Now, e.Threads)
+}
+
+// LivelockError reports that the event budget was exhausted.
+type LivelockError struct {
+	Now    Time
+	Events uint64
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("engine: event budget of %d exhausted at cycle %d (livelock?)", e.Events, e.Now)
+}
+
+// Run dispatches events until the queue drains. It returns nil when all
+// spawned threads have terminated, a *DeadlockError if threads remain parked,
+// or a *LivelockError if the event budget is exhausted.
+func (s *Sim) Run() error {
+	if s.dead {
+		return errors.New("engine: Run on a torn-down simulator")
+	}
+	limit := s.MaxEvents
+	if limit == 0 {
+		limit = 50_000_000_000
+	}
+	var dispatched uint64
+	for len(s.events) > 0 {
+		if dispatched >= limit {
+			s.teardown()
+			return &LivelockError{Now: s.now, Events: dispatched}
+		}
+		dispatched++
+		ev := s.events.pop()
+		s.now = ev.at
+		ev.fn()
+		if s.failure != nil {
+			err := s.failure
+			s.teardown()
+			return err
+		}
+	}
+	if len(s.live) > 0 {
+		names := make([]string, 0, len(s.live))
+		for t := range s.live {
+			names = append(names, t.name)
+		}
+		sort.Strings(names)
+		err := &DeadlockError{Now: s.now, Threads: names}
+		if os.Getenv("SVMSIM_DEADLOCK_STACKS") != "" {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			fmt.Fprintf(os.Stderr, "=== deadlock goroutine stacks ===\n%s\n", buf[:n])
+		}
+		s.teardown()
+		return err
+	}
+	s.teardown()
+	return nil
+}
+
+// teardown unwinds any parked goroutines so they do not leak.
+func (s *Sim) teardown() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	close(s.killed)
+	// Parked goroutines each panic(errUnwind) out of park; the ones blocked
+	// sending on s.yield cannot exist here (a thread is only mid-yield while
+	// the scheduler is inside switchTo).
+	for range s.live {
+		// Nothing further to do: goroutines exit asynchronously.
+		break
+	}
+}

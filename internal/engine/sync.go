@@ -1,0 +1,124 @@
+package engine
+
+import "fmt"
+
+// Cond is a condition variable for simulated threads. Waiters are resumed in
+// FIFO order, at the simulated time of the Signal/Broadcast.
+type Cond struct {
+	sim     *Sim
+	waiters []*Thread
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Sim) *Cond { return &Cond{sim: s} }
+
+// Wait parks t until another actor signals the condition. As with real
+// condition variables, callers should re-check their predicate on wakeup.
+func (c *Cond) Wait(t *Thread) {
+	c.waiters = append(c.waiters, t)
+	t.park()
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	t := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	t.Unpark()
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, t := range ws {
+		t.Unpark()
+	}
+}
+
+// Waiters reports how many threads are blocked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+type resWaiter struct {
+	prio int
+	seq  uint64
+	t    *Thread
+}
+
+// Resource models a unit-capacity shared hardware resource (a bus, an I/O
+// bus, a network-interface engine) with priority arbitration: among queued
+// requesters, the numerically smallest priority wins; ties go to the earliest
+// arrival. It also tracks total busy time for utilization reporting.
+type Resource struct {
+	sim      *Sim
+	name     string
+	busy     bool
+	seq      uint64
+	queue    []resWaiter
+	busyFrom Time
+	// BusyTime accumulates total cycles the resource was held.
+	BusyTime Time
+}
+
+// NewResource creates a free resource named name.
+func NewResource(s *Sim, name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen reports the number of threads waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Acquire blocks t until it holds the resource. prio orders contending
+// waiters (smaller wins).
+func (r *Resource) Acquire(t *Thread, prio int) {
+	if !r.busy {
+		r.busy = true
+		r.busyFrom = r.sim.Now()
+		return
+	}
+	r.seq++
+	r.queue = append(r.queue, resWaiter{prio: prio, seq: r.seq, t: t})
+	t.park()
+	// The releaser marked us as the holder before unparking.
+}
+
+// Release frees the resource, handing it to the best-priority waiter if any.
+// The resource remains busy when handed over directly.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic(fmt.Sprintf("engine: Release of free resource %q", r.name))
+	}
+	r.BusyTime += r.sim.Now() - r.busyFrom
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	best := 0
+	for i := 1; i < len(r.queue); i++ {
+		w, b := r.queue[i], r.queue[best]
+		if w.prio < b.prio || (w.prio == b.prio && w.seq < b.seq) {
+			best = i
+		}
+	}
+	next := r.queue[best]
+	r.queue = append(r.queue[:best], r.queue[best+1:]...)
+	r.busyFrom = r.sim.Now()
+	next.t.Unpark()
+}
+
+// Use acquires the resource at prio, holds it for d cycles of simulated
+// time, and releases it. This is the common "occupy the bus for a transfer"
+// pattern.
+func (r *Resource) Use(t *Thread, prio int, d Time) {
+	r.Acquire(t, prio)
+	t.Delay(d)
+	r.Release()
+}

@@ -1,0 +1,22 @@
+package exp
+
+import "testing"
+
+func TestAllLocalAblationRuns(t *testing.T) {
+	s := sharedSuite
+	tbl, err := s.AllLocalAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AllLocal must improve (or at least not hurt) every application.
+	worse := 0
+	for _, r := range tbl.Rows {
+		if r.Values[1] < r.Values[0]*0.95 {
+			worse++
+			t.Logf("%s: AllLocal %.2f vs normal %.2f", r.Name, r.Values[1], r.Values[0])
+		}
+	}
+	if worse > 1 {
+		t.Errorf("AllLocal hurt %d applications", worse)
+	}
+}

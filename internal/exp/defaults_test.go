@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"testing"
+
+	"svmsim"
+)
+
+// TestDefaultSizesRunAndValidate runs every workload once at its
+// benchmark (Default) problem size on the achievable configuration,
+// exercising the sizes the benchmark harness uses. Skipped with -short.
+func TestDefaultSizesRunAndValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default problem sizes are slow; run without -short")
+	}
+	for _, w := range svmsim.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res, err := svmsim.Run(svmsim.Achievable(), w.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Run.Cycles == 0 {
+				t.Fatal("no cycles")
+			}
+		})
+	}
+}

@@ -1,0 +1,210 @@
+// Package exp defines the paper's experiments: one function per table and
+// figure of the evaluation section, each running the required parameter
+// sweep over the application suite and rendering the same rows/series the
+// paper reports. Runs are memoized within a Suite so sweeps sharing a
+// configuration (e.g. the achievable baseline) pay for it once.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"svmsim"
+)
+
+// Size selects problem sizes for the whole suite.
+type Size int
+
+const (
+	// Small uses the test-sized problems (seconds per experiment).
+	Small Size = iota
+	// Default uses the benchmark-sized problems (minutes per experiment).
+	Default
+)
+
+// Suite runs and memoizes experiments.
+type Suite struct {
+	// Procs and PPN set the baseline topology (the paper: 16 processors,
+	// 4 per node).
+	Procs int
+	PPN   int
+	// Sizes selects problem sizes.
+	Sizes Size
+	// Verbose, when non-nil, receives progress lines.
+	Verbose io.Writer
+
+	cache map[string]*svmsim.Result
+	uni   map[string]uint64
+}
+
+// NewSuite creates a suite with the paper's baseline topology.
+func NewSuite(sizes Size) *Suite {
+	return &Suite{Procs: 16, PPN: 4, Sizes: sizes,
+		cache: make(map[string]*svmsim.Result), uni: make(map[string]uint64)}
+}
+
+// Base returns the achievable baseline configuration.
+func (s *Suite) Base() svmsim.Config {
+	cfg := svmsim.Achievable()
+	cfg.Procs = s.Procs
+	cfg.ProcsPerNode = s.PPN
+	return cfg
+}
+
+func (s *Suite) app(w svmsim.Workload) svmsim.App {
+	if s.Sizes == Default {
+		return w.Default()
+	}
+	return w.Small()
+}
+
+func cfgKey(c svmsim.Config) string {
+	return fmt.Sprintf("p%d/n%d/ho%d/occ%d/io%g/intr%d/pg%d/mode%d/pol%d/all%v/req%d/nis%d/nisrv%v",
+		c.Procs, c.ProcsPerNode, c.Net.HostOverhead, c.Net.NIOccupancy,
+		c.Net.IOBytesPerCycle, c.IntrHalfCost, c.Proto.PageBytes, c.Proto.Mode,
+		c.IntrPolicy, c.Proto.AllLocal, c.Requests, c.NIsPerNode, c.NIServePages)
+}
+
+// run executes (and caches) one workload on one configuration.
+func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, error) {
+	key := w.Name + "|" + cfgKey(cfg)
+	if r, ok := s.cache[key]; ok {
+		return r.Run, nil
+	}
+	if s.Verbose != nil {
+		fmt.Fprintf(s.Verbose, "run %-12s %s\n", w.Name, cfgKey(cfg))
+	}
+	res, err := svmsim.Run(cfg, s.app(w))
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, cfgKey(cfg), err)
+	}
+	s.cache[key] = res
+	return res.Run, nil
+}
+
+// uniTime returns the memoized uniprocessor execution time for a workload.
+func (s *Suite) uniTime(w svmsim.Workload) (uint64, error) {
+	if t, ok := s.uni[w.Name]; ok {
+		return t, nil
+	}
+	cfg := svmsim.Uniprocessor(s.Base())
+	res, err := svmsim.Run(cfg, s.app(w))
+	if err != nil {
+		return 0, fmt.Errorf("uniprocessor %s: %w", w.Name, err)
+	}
+	s.uni[w.Name] = res.Run.Cycles
+	return res.Run.Cycles, nil
+}
+
+// speedup returns uniproc/parallel for a workload under cfg.
+func (s *Suite) speedup(cfg svmsim.Config, w svmsim.Workload) (float64, error) {
+	uni, err := s.uniTime(w)
+	if err != nil {
+		return 0, err
+	}
+	run, err := s.run(cfg, w)
+	if err != nil {
+		return 0, err
+	}
+	return float64(uni) / float64(run.Cycles), nil
+}
+
+// Table is one rendered experiment.
+type Table struct {
+	ID    string
+	Title string
+	Cols  []string
+	Rows  []Row
+}
+
+// Row is one application's results.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Cols)+1)
+	widths[0] = len("Application")
+	for _, r := range t.Rows {
+		if len(r.Name) > widths[0] {
+			widths[0] = len(r.Name)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatCell(v)
+		}
+	}
+	for j, c := range t.Cols {
+		widths[j+1] = len(c)
+		for i := range cells {
+			if j < len(cells[i]) && len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], "Application")
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteString("\n")
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r.Name)
+		for j := range t.Cols {
+			v := ""
+			if j < len(cells[i]) {
+				v = cells[i][j]
+			}
+			fmt.Fprintf(&b, "  %*s", widths[j+1], v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Get returns the value for application app in column col, or NaN.
+func (t *Table) Get(app string, col int) float64 {
+	for _, r := range t.Rows {
+		if r.Name == app && col < len(r.Values) {
+			return r.Values[col]
+		}
+	}
+	return nan()
+}
+
+func nan() float64 { var z float64; return 0 / z }
+
+// Sweep points (Table 1 ranges; see DESIGN.md for the reconstruction).
+var (
+	HostOverheadPoints = []uint64{0, 200, 500, 2000, 5000}
+	OccupancyPoints    = []uint64{0, 100, 200, 500, 1000, 2000}
+	IOBandwidthPoints  = []float64{0.2, 0.5, 1.0, 2.0}
+	InterruptPoints    = []uint64{0, 200, 500, 1000, 2000, 5000, 10000}
+	PageSizePoints     = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}
+	ClusteringPoints   = []int{1, 2, 4, 8}
+)
+
+// apps returns the suite in presentation order.
+func apps() []svmsim.Workload { return svmsim.Workloads() }

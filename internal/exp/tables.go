@@ -1,0 +1,391 @@
+package exp
+
+import (
+	"fmt"
+
+	"svmsim"
+	"svmsim/internal/apps/synth"
+	"svmsim/internal/proto"
+	"svmsim/internal/stats"
+)
+
+// Table3 reproduces the maximum-slowdown summary: for each application and
+// each parameter, the slowdown between the smallest and largest value in the
+// studied range (other parameters held at their achievable values). Negative
+// numbers indicate speedups, as in the paper.
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{ID: "Table 3",
+		Title: "Maximum slowdowns (%) across each parameter's range (negative = speedup)",
+		Cols:  []string{"HostOvh", "NIOcc", "IOBw", "Intr", "PageSz", "PPN"}}
+	type extreme struct {
+		best func(svmsim.Config) svmsim.Config
+		wrst func(svmsim.Config) svmsim.Config
+	}
+	params := []extreme{
+		{func(c svmsim.Config) svmsim.Config { c.Net.HostOverhead = HostOverheadPoints[0]; return c },
+			func(c svmsim.Config) svmsim.Config {
+				c.Net.HostOverhead = HostOverheadPoints[len(HostOverheadPoints)-1]
+				return c
+			}},
+		{func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancy = OccupancyPoints[0]; return c },
+			func(c svmsim.Config) svmsim.Config {
+				c.Net.NIOccupancy = OccupancyPoints[len(OccupancyPoints)-1]
+				return c
+			}},
+		// Bandwidth: the "small value" is the HIGH bandwidth (best), the
+		// "big value" direction of degradation is the LOW bandwidth.
+		{func(c svmsim.Config) svmsim.Config {
+			c.Net.IOBytesPerCycle = IOBandwidthPoints[len(IOBandwidthPoints)-1]
+			return c
+		},
+			func(c svmsim.Config) svmsim.Config { c.Net.IOBytesPerCycle = IOBandwidthPoints[0]; return c }},
+		{func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = InterruptPoints[0]; return c },
+			func(c svmsim.Config) svmsim.Config {
+				c.IntrHalfCost = InterruptPoints[len(InterruptPoints)-1]
+				return c
+			}},
+		{func(c svmsim.Config) svmsim.Config { c.Proto.PageBytes = PageSizePoints[0]; return c },
+			func(c svmsim.Config) svmsim.Config {
+				c.Proto.PageBytes = PageSizePoints[len(PageSizePoints)-1]
+				return c
+			}},
+		{func(c svmsim.Config) svmsim.Config { c.ProcsPerNode = ClusteringPoints[0]; return c },
+			func(c svmsim.Config) svmsim.Config {
+				c.ProcsPerNode = ClusteringPoints[len(ClusteringPoints)-1]
+				return c
+			}},
+	}
+	for _, w := range apps() {
+		var vals []float64
+		for _, pm := range params {
+			a, err := s.run(pm.best(s.Base()), w)
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.run(pm.wrst(s.Base()), w)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, stats.Slowdown(a.Cycles, b.Cycles))
+		}
+		t.Rows = append(t.Rows, Row{Name: w.Name, Values: vals})
+	}
+	return t, nil
+}
+
+// Table4 reproduces the best / achievable / ideal speedups per application.
+func (s *Suite) Table4() (*Table, error) {
+	t := &Table{ID: "Table 4", Title: "Best, achievable and ideal speedups",
+		Cols: []string{"Best", "Achievable", "Ideal"}}
+	best := svmsim.Best()
+	best.Procs = s.Procs
+	best.ProcsPerNode = s.PPN
+	for _, w := range apps() {
+		uni, err := s.uniTime(w)
+		if err != nil {
+			return nil, err
+		}
+		bRun, err := s.run(best, w)
+		if err != nil {
+			return nil, err
+		}
+		aRun, err := s.run(s.Base(), w)
+		if err != nil {
+			return nil, err
+		}
+		sp := stats.ComputeSpeedups(uni, aRun)
+		t.Rows = append(t.Rows, Row{Name: w.Name, Values: []float64{
+			float64(uni) / float64(bRun.Cycles), sp.Achievable, sp.Ideal}})
+	}
+	return t, nil
+}
+
+// correlate builds the normalized slowdown-vs-characteristic comparison of
+// Figures 6, 9 and 11: both the slowdown across a parameter's range and the
+// predicting application characteristic, each normalized to its maximum.
+func (s *Suite) correlate(id, title, predictorName string,
+	low, high func(svmsim.Config) svmsim.Config,
+	predictor func(run *svmsim.RunStats) float64) (*Table, error) {
+	t := &Table{ID: id, Title: title, Cols: []string{"NormSlowdown", "Norm" + predictorName}}
+	var slows, preds []float64
+	for _, w := range apps() {
+		a, err := s.run(low(s.Base()), w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.run(high(s.Base()), w)
+		if err != nil {
+			return nil, err
+		}
+		base, err := s.run(s.Base(), w)
+		if err != nil {
+			return nil, err
+		}
+		slows = append(slows, stats.Slowdown(a.Cycles, b.Cycles))
+		preds = append(preds, predictor(base))
+	}
+	maxS, maxP := 0.0, 0.0
+	for i := range slows {
+		if slows[i] > maxS {
+			maxS = slows[i]
+		}
+		if preds[i] > maxP {
+			maxP = preds[i]
+		}
+	}
+	if maxS == 0 {
+		maxS = 1
+	}
+	if maxP == 0 {
+		maxP = 1
+	}
+	for i, w := range apps() {
+		t.Rows = append(t.Rows, Row{Name: w.Name, Values: []float64{slows[i] / maxS, preds[i] / maxP}})
+	}
+	return t, nil
+}
+
+// Figure6 relates host-overhead slowdown to the number of messages sent.
+func (s *Suite) Figure6() (*Table, error) {
+	return s.correlate("Figure 6",
+		"Host-overhead slowdown vs messages sent (both normalized to their maxima)",
+		"Msgs",
+		func(c svmsim.Config) svmsim.Config { c.Net.HostOverhead = HostOverheadPoints[0]; return c },
+		func(c svmsim.Config) svmsim.Config {
+			c.Net.HostOverhead = HostOverheadPoints[len(HostOverheadPoints)-1]
+			return c
+		},
+		func(run *svmsim.RunStats) float64 {
+			return run.PerMComputeCycles(run.Sum(func(p *stats.Proc) uint64 { return p.MsgsSent }))
+		})
+}
+
+// Figure9 relates I/O-bandwidth slowdown to the number of bytes sent.
+func (s *Suite) Figure9() (*Table, error) {
+	return s.correlate("Figure 9",
+		"I/O-bandwidth slowdown vs bytes sent (both normalized to their maxima)",
+		"Bytes",
+		func(c svmsim.Config) svmsim.Config {
+			c.Net.IOBytesPerCycle = IOBandwidthPoints[len(IOBandwidthPoints)-1]
+			return c
+		},
+		func(c svmsim.Config) svmsim.Config { c.Net.IOBytesPerCycle = IOBandwidthPoints[0]; return c },
+		func(run *svmsim.RunStats) float64 {
+			return run.PerMComputeCycles(run.Sum(func(p *stats.Proc) uint64 { return p.BytesSent }))
+		})
+}
+
+// Figure11 relates interrupt-cost slowdown to page fetches plus remote lock
+// acquires (the events that raise interrupts).
+func (s *Suite) Figure11() (*Table, error) {
+	return s.correlate("Figure 11",
+		"Interrupt-cost slowdown vs page fetches + remote lock acquires (normalized)",
+		"Fetch+RLock",
+		func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = InterruptPoints[0]; return c },
+		func(c svmsim.Config) svmsim.Config {
+			c.IntrHalfCost = InterruptPoints[len(InterruptPoints)-1]
+			return c
+		},
+		func(run *svmsim.RunStats) float64 {
+			return run.PerMComputeCycles(run.Sum(func(p *stats.Proc) uint64 {
+				return p.PageFetches + p.RemoteLocks
+			}))
+		})
+}
+
+// InterruptVariants reproduces the Section-6 variants: interrupt sensitivity
+// with uniprocessor nodes, and with round-robin interrupt delivery.
+func (s *Suite) InterruptVariants() (*Table, error) {
+	t := &Table{ID: "Variants", Title: "Interrupt-cost sensitivity: uniprocessor nodes and round-robin delivery (speedups at interrupt cost 0 / 1k / 10k per half)",
+		Cols: []string{"uni:0", "uni:1k", "uni:10k", "rr:0", "rr:1k", "rr:10k"}}
+	subset := pick("FFT", "Barnes-reb", "Water-nsq")
+	points := []uint64{0, 1000, 10000}
+	for _, w := range subset {
+		var vals []float64
+		for _, v := range points {
+			cfg := s.Base()
+			cfg.ProcsPerNode = 1
+			cfg.IntrHalfCost = v
+			sp, err := s.speedup(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, sp)
+		}
+		for _, v := range points {
+			cfg := s.Base()
+			cfg.IntrPolicy = svmsim.IntrRoundRobin
+			cfg.IntrHalfCost = v
+			sp, err := s.speedup(cfg, w)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, sp)
+		}
+		t.Rows = append(t.Rows, Row{Name: w.Name, Values: vals})
+	}
+	return t, nil
+}
+
+// AllLocalAblation reproduces the per-application analysis trick of Section
+// 7: artificially satisfying all page faults locally, isolating the cost of
+// remote fetches.
+func (s *Suite) AllLocalAblation() (*Table, error) {
+	t := &Table{ID: "Ablation", Title: "Speedup with remote page fetches artificially disabled (Section 7 analysis)",
+		Cols: []string{"Normal", "AllLocal"}}
+	for _, w := range apps() {
+		spN, err := s.speedup(s.Base(), w)
+		if err != nil {
+			return nil, err
+		}
+		cfg := s.Base()
+		cfg.Proto.AllLocal = true
+		spA, err := s.speedup(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{Name: w.Name, Values: []float64{spN, spA}})
+	}
+	return t, nil
+}
+
+// Experiments returns every experiment in paper order.
+func (s *Suite) Experiments() []struct {
+	ID  string
+	Run func() (*Table, error)
+} {
+	return []struct {
+		ID  string
+		Run func() (*Table, error)
+	}{
+		{"fig1", s.Figure1},
+		{"table2", s.Table2},
+		{"fig3", s.Figure3},
+		{"fig4", s.Figure4},
+		{"table3", s.Table3},
+		{"fig5", s.Figure5},
+		{"fig6", s.Figure6},
+		{"fig7", s.Figure7},
+		{"fig8", s.Figure8},
+		{"fig9", s.Figure9},
+		{"fig10", s.Figure10},
+		{"fig11", s.Figure11},
+		{"fig12", s.Figure12},
+		{"table4", s.Table4},
+		{"fig13", s.Figure13},
+		{"fig14", s.Figure14},
+		{"variants", s.InterruptVariants},
+		{"ablation", s.AllLocalAblation},
+		{"extensions", s.Extensions},
+		{"microbench", s.Microbench},
+		{"breakdown", s.Breakdown},
+	}
+}
+
+// Extensions evaluates the paper's proposed interrupt-avoidance and
+// bandwidth schemes (Discussion/Future Work): with commercial-OS interrupt
+// costs (10k cycles per half), how much performance do polling, a dedicated
+// protocol processor, and NI-served page fetches recover — and what does an
+// extra network interface per node buy?
+func (s *Suite) Extensions() (*Table, error) {
+	t := &Table{ID: "Extensions",
+		Title: "Interrupt-avoidance and bandwidth extensions (speedups; Intr10k = commercial interrupts baseline)",
+		Cols:  []string{"Intr500", "Intr10k", "Poll@10k", "Dedic@10k", "NIserve@10k", "2xNI"}}
+	mods := []func(svmsim.Config) svmsim.Config{
+		func(c svmsim.Config) svmsim.Config { return c },
+		func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = 10000; return c },
+		func(c svmsim.Config) svmsim.Config {
+			c.IntrHalfCost = 10000
+			c.Requests = svmsim.RequestPolling
+			return c
+		},
+		func(c svmsim.Config) svmsim.Config {
+			c.IntrHalfCost = 10000
+			c.Requests = svmsim.RequestDedicated
+			return c
+		},
+		func(c svmsim.Config) svmsim.Config {
+			c.IntrHalfCost = 10000
+			c.NIServePages = true
+			return c
+		},
+		func(c svmsim.Config) svmsim.Config { c.NIsPerNode = 2; return c },
+	}
+	for _, w := range apps() {
+		var vals []float64
+		for _, mod := range mods {
+			sp, err := s.speedup(mod(s.Base()), w)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, sp)
+		}
+		t.Rows = append(t.Rows, Row{Name: w.Name, Values: vals})
+	}
+	return t, nil
+}
+
+// Microbench characterizes the protocol on the synthetic sharing patterns
+// (producer-consumer, migratory, false sharing, all-to-all, hot lock,
+// read-mostly): cycles and traffic under HLRC vs AURC. These isolate the
+// protocol behaviors the real applications mix together.
+func (s *Suite) Microbench() (*Table, error) {
+	t := &Table{ID: "Microbench",
+		Title: "Synthetic sharing patterns: Mcycles and messages under HLRC vs AURC",
+		Cols:  []string{"HLRC Mcyc", "AURC Mcyc", "HLRC msgs", "AURC msgs", "HLRC diffs", "AURC upd"}}
+	for _, pat := range synth.Patterns() {
+		app := synth.New(synth.Default(pat))
+		var vals []float64
+		var cyc [2]float64
+		var msgs [2]float64
+		var extra [2]float64
+		for i, mode := range []proto.Mode{proto.HLRC, proto.AURC} {
+			cfg := s.Base()
+			cfg.Proto.Mode = mode
+			res, err := svmsim.Run(cfg, app)
+			if err != nil {
+				return nil, fmt.Errorf("microbench %s/%s: %w", pat, mode, err)
+			}
+			cyc[i] = float64(res.Run.Cycles) / 1e6
+			msgs[i] = float64(res.Run.Sum(func(p *stats.Proc) uint64 { return p.MsgsSent }))
+			if mode == proto.HLRC {
+				extra[i] = float64(res.Run.Sum(func(p *stats.Proc) uint64 { return p.DiffsCreated }))
+			} else {
+				extra[i] = float64(res.Run.Sum(func(p *stats.Proc) uint64 { return p.UpdatesSent }))
+			}
+		}
+		vals = append(vals, cyc[0], cyc[1], msgs[0], msgs[1], extra[0], extra[1])
+		t.Rows = append(t.Rows, Row{Name: pat.String(), Values: vals})
+	}
+	return t, nil
+}
+
+// Breakdown reports the per-application execution time breakdown at the
+// achievable point (the percentages behind the paper's Section 7
+// per-application analysis).
+func (s *Suite) Breakdown() (*Table, error) {
+	t := &Table{ID: "Breakdown",
+		Title: "Execution time breakdown at the achievable point (% of total processor time)",
+		Cols:  []string{"comp", "stall", "data", "lock", "barr", "handler", "send", "diff"}}
+	kinds := []stats.TimeKind{
+		stats.Compute, stats.LocalStall, stats.DataWait, stats.LockWait,
+		stats.BarrierWait, stats.HandlerSteal, stats.SendOverhead, stats.DiffTime,
+	}
+	for _, w := range apps() {
+		run, err := s.run(s.Base(), w)
+		if err != nil {
+			return nil, err
+		}
+		var tot float64
+		for _, k := range kinds {
+			tot += float64(run.Sum(func(p *stats.Proc) uint64 { return p.Time[k] }))
+		}
+		var vals []float64
+		for _, k := range kinds {
+			v := float64(run.Sum(func(p *stats.Proc) uint64 { return p.Time[k] }))
+			vals = append(vals, v/tot*100)
+		}
+		t.Rows = append(t.Rows, Row{Name: w.Name, Values: vals})
+	}
+	return t, nil
+}

@@ -1,0 +1,204 @@
+package machine
+
+import (
+	"testing"
+
+	"svmsim/internal/interrupts"
+	"svmsim/internal/shm"
+	"svmsim/internal/stats"
+)
+
+// counterState is the shared state of counterApp.
+type counterState struct {
+	addr shm.Addr
+	lock int
+}
+
+// counterApp is a small lock+barrier workload used to validate the request
+// handling extensions end to end.
+func counterApp(per int) App {
+	type st = counterState
+	return App{
+		Name: "counter",
+		Setup: func(w *shm.World) any {
+			return st{addr: w.AllocPages(8), lock: w.NewLock()}
+		},
+		Body: func(c *shm.Proc, state any) {
+			s := state.(st)
+			for i := 0; i < per; i++ {
+				c.Lock(s.lock)
+				c.WriteU64(s.addr, c.ReadU64(s.addr)+1)
+				c.Unlock(s.lock)
+				c.Compute(500)
+			}
+			c.Barrier()
+		},
+	}
+}
+
+func base() Config {
+	c := Achievable()
+	c.Procs = 8
+	c.ProcsPerNode = 2
+	c.HeapBytes = 1 << 20
+	return c
+}
+
+func counterValue(t *testing.T, res *Result, addr shm.Addr) uint64 {
+	t.Helper()
+	home := res.World.Sys.Home(res.World.Sys.PageOf(addr))
+	return res.World.Sys.Nodes[home].ReadWord(addr)
+}
+
+func TestPollingModeCorrectAndInterruptFree(t *testing.T) {
+	cfg := base()
+	cfg.Requests = interrupts.Polling
+	res, err := Run(cfg, counterApp(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 app procs increment 20 times.
+	got := counterValue(t, res, res.State.(counterState).addr)
+	if got != 160 {
+		t.Fatalf("counter=%d want 160", got)
+	}
+}
+
+func TestDedicatedModeReservesProcessors(t *testing.T) {
+	cfg := base()
+	cfg.Requests = interrupts.Dedicated
+	res, err := Run(cfg, counterApp(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 4 app procs (one reserved per 2-proc node).
+	got := counterValue(t, res, res.State.(counterState).addr)
+	if got != 80 {
+		t.Fatalf("counter=%d want 80 (4 app procs x 20)", got)
+	}
+	// Requests were serviced on the reserved processors (odd local IDs).
+	var reserved, others uint64
+	for gid := range res.Run.Procs {
+		if gid%2 == 1 {
+			reserved += res.Run.Procs[gid].Interrupts
+		} else {
+			others += res.Run.Procs[gid].Interrupts
+		}
+	}
+	if reserved == 0 {
+		t.Fatal("reserved processors serviced no requests")
+	}
+	if others != 0 {
+		t.Fatalf("non-reserved processors serviced %d requests", others)
+	}
+}
+
+func TestDedicatedRequiresSMP(t *testing.T) {
+	cfg := base()
+	cfg.ProcsPerNode = 1
+	cfg.Requests = interrupts.Dedicated
+	if _, err := Run(cfg, counterApp(1)); err == nil {
+		t.Fatal("expected validation error for dedicated mode on uniprocessor nodes")
+	}
+}
+
+func TestNIServePagesNoPageInterrupts(t *testing.T) {
+	cfg := base()
+	cfg.NIServePages = true
+	// Pure page-sharing workload: no locks, so no interrupts at all.
+	app := App{
+		Name: "pages",
+		Setup: func(w *shm.World) any {
+			return w.AllocPages(64 << 10)
+		},
+		Body: func(c *shm.Proc, state any) {
+			base := state.(shm.Addr)
+			lo, hi := c.Block(8192)
+			for i := lo; i < hi; i++ {
+				c.WriteU64(base+shm.Addr(i*8), uint64(i))
+			}
+			c.Barrier()
+			for i := 0; i < 8192; i += 64 {
+				if c.ReadU64(base+shm.Addr(i*8)) != uint64(i) {
+					panic("stale read under NI page serving")
+				}
+			}
+			c.Barrier()
+		},
+	}
+	res, err := Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intr := res.Run.Sum(func(p *stats.Proc) uint64 { return p.Interrupts })
+	fetches := res.Run.Sum(func(p *stats.Proc) uint64 { return p.PageFetches })
+	if fetches == 0 {
+		t.Fatal("no fetches happened")
+	}
+	if intr != 0 {
+		t.Fatalf("NI page serving still raised %d interrupts", intr)
+	}
+}
+
+func TestMultipleNIsImproveBandwidthBoundRun(t *testing.T) {
+	// A bandwidth-hungry all-to-all exchange should speed up with two NIs
+	// per node when the I/O bus is the bottleneck.
+	app := App{
+		Name: "alltoall",
+		Setup: func(w *shm.World) any {
+			return w.AllocPages(1 << 20)
+		},
+		Body: func(c *shm.Proc, state any) {
+			base := state.(shm.Addr)
+			n := 128 * 1024 / 8 // words
+			lo, hi := c.Block(n)
+			for i := lo; i < hi; i++ {
+				c.WriteU64(base+shm.Addr(i*8), uint64(i))
+			}
+			c.Barrier()
+			// Everyone reads everything (all-to-all page traffic).
+			var sum uint64
+			for i := 0; i < n; i += 32 {
+				sum += c.ReadU64(base + shm.Addr(i*8))
+			}
+			_ = sum
+			c.Barrier()
+		},
+	}
+	run := func(nis int) uint64 {
+		cfg := base()
+		cfg.Net.IOBytesPerCycle = 0.2 // starve the I/O bus
+		cfg.NIsPerNode = nis
+		res, err := Run(cfg, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Run.Cycles
+	}
+	one := run(1)
+	two := run(2)
+	if two >= one {
+		t.Fatalf("2 NIs (%d cycles) not faster than 1 (%d cycles)", two, one)
+	}
+}
+
+func TestPollingAddsTaxButAvoidsInterrupts(t *testing.T) {
+	// With very expensive interrupts, polling must win; with free
+	// interrupts, polling's tax and batching delay must cost something.
+	expensive := base()
+	expensive.IntrHalfCost = 10000
+	rExp, err := Run(expensive, counterApp(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	polled := base()
+	polled.IntrHalfCost = 10000 // irrelevant under polling
+	polled.Requests = interrupts.Polling
+	rPoll, err := Run(polled, counterApp(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPoll.Run.Cycles >= rExp.Run.Cycles {
+		t.Fatalf("polling (%d) should beat 2x10000-cycle interrupts (%d)", rPoll.Run.Cycles, rExp.Run.Cycles)
+	}
+}

@@ -1,0 +1,209 @@
+// Package machine assembles full cluster configurations (Table 1's
+// parameter sets) and runs SPMD applications on them, collecting the
+// statistics the paper's tables and figures are computed from.
+package machine
+
+import (
+	"fmt"
+
+	"svmsim/internal/engine"
+	"svmsim/internal/interrupts"
+	"svmsim/internal/network"
+	"svmsim/internal/node"
+	"svmsim/internal/proto"
+	"svmsim/internal/shm"
+	"svmsim/internal/stats"
+	"svmsim/internal/trace"
+)
+
+// Config is one point in the communication-parameter space plus the fixed
+// architecture.
+type Config struct {
+	Procs        int
+	ProcsPerNode int
+	HeapBytes    uint64
+
+	Node  node.Params
+	Net   network.Params
+	Proto proto.Params
+
+	// IntrHalfCost is the interrupt cost per half (issue and delivery each
+	// cost this much; the paper's "total interrupt cost" is twice this).
+	IntrHalfCost engine.Time
+	IntrPolicy   interrupts.Policy
+
+	// Requests selects how incoming requests are handled: interrupts (the
+	// paper's baseline), polling, or a dedicated protocol processor per
+	// node (the paper's proposed interrupt-avoidance schemes). Poll
+	// configures the latter two.
+	Requests interrupts.Handling
+	Poll     interrupts.PollParams
+
+	// NIServePages serves page requests on the programmable NI itself.
+	NIServePages bool
+	// NIsPerNode replicates the network interface and its I/O bus.
+	NIsPerNode int
+
+	// MaxEvents bounds the run (livelock guard); zero uses the default.
+	MaxEvents uint64
+
+	// Trace, when non-nil, records time-stamped protocol events (see
+	// internal/trace); nil disables recording at zero cost.
+	Trace *trace.Recorder
+}
+
+// Achievable returns the paper's "achievable" configuration: aggressive but
+// realistic values for current (1997-era, relative to processor speed)
+// systems. See DESIGN.md for the reconstruction of absolute values.
+func Achievable() Config {
+	return Config{
+		Procs:        16,
+		ProcsPerNode: 4,
+		HeapBytes:    16 << 20,
+		Node:         node.DefaultParams(),
+		Net: network.Params{
+			HostOverhead:      500,
+			NIOccupancy:       200,
+			IOBytesPerCycle:   0.5,
+			LinkBytesPerCycle: 2.0,
+			LinkLatency:       50,
+			MaxPacketBytes:    2048,
+			HeaderBytes:       32,
+		},
+		Proto:        proto.DefaultParams(),
+		IntrHalfCost: 500,
+	}
+}
+
+// Best returns the paper's "best" configuration: each communication
+// parameter at the best value in the studied range (zero overheads, I/O bus
+// at memory-bus bandwidth); contention is still modeled.
+func Best() Config {
+	c := Achievable()
+	c.Net.HostOverhead = 0
+	c.Net.NIOccupancy = 0
+	c.Net.IOBytesPerCycle = 2.0
+	c.IntrHalfCost = 0
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.Procs <= 0 || c.ProcsPerNode <= 0 || c.Procs%c.ProcsPerNode != 0 {
+		return fmt.Errorf("machine: bad processor topology %d/%d", c.Procs, c.ProcsPerNode)
+	}
+	if c.Procs/c.ProcsPerNode > 1 && c.Net.IOBytesPerCycle <= 0 {
+		return fmt.Errorf("machine: non-positive I/O bandwidth")
+	}
+	if c.Proto.PageBytes <= 0 || c.Proto.PageBytes%c.Node.LineBytes != 0 {
+		return fmt.Errorf("machine: page size %d not a multiple of line size", c.Proto.PageBytes)
+	}
+	if c.Requests == interrupts.Dedicated && c.ProcsPerNode < 2 {
+		return fmt.Errorf("machine: dedicated protocol processor needs >= 2 processors per node")
+	}
+	return nil
+}
+
+// App is a simulated SPMD application: Setup allocates shared state on the
+// world (run once, before time starts), Body runs on every processor, and
+// Check validates the computed results after the run (returning an error
+// fails the run).
+type App struct {
+	Name  string
+	Setup func(w *shm.World) any
+	Body  func(c *shm.Proc, state any)
+	Check func(w *shm.World, state any) error
+}
+
+// Result bundles a finished run.
+type Result struct {
+	Run   *stats.Run
+	State any
+	World *shm.World
+}
+
+// Run executes app on the configuration and returns the collected stats.
+func Run(cfg Config, app App) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := engine.New()
+	sim.MaxEvents = cfg.MaxEvents
+	nodes := cfg.Procs / cfg.ProcsPerNode
+	nodePrm := cfg.Node
+	poll := cfg.Poll
+	if poll.Interval == 0 {
+		poll = interrupts.DefaultPollParams()
+	}
+	if cfg.Requests == interrupts.Polling {
+		// Every processor pays the poll-check instrumentation tax.
+		nodePrm.PollTaxPerMille = poll.CheckCycles * 1000 / poll.Interval
+	}
+	sys := proto.NewSystem(sim, proto.SystemConfig{
+		Nodes:        nodes,
+		ProcsPerNode: cfg.ProcsPerNode,
+		HeapBytes:    cfg.HeapBytes,
+		NodePrm:      nodePrm,
+		NetPrm:       cfg.Net,
+		ProtoPrm:     cfg.Proto,
+		IntrIssue:    cfg.IntrHalfCost,
+		IntrDeliver:  cfg.IntrHalfCost,
+		IntrPolicy:   cfg.IntrPolicy,
+		Requests:     cfg.Requests,
+		Poll:         poll,
+		NIServePages: cfg.NIServePages,
+		NIsPerNode:   cfg.NIsPerNode,
+		Trace:        cfg.Trace,
+	})
+	w := &shm.World{Sys: sys}
+	state := app.Setup(w)
+
+	// Under the dedicated-protocol-processor scheme, the last processor of
+	// each node runs no application work; the application sees a smaller,
+	// contiguously-numbered machine (the capacity cost of the scheme).
+	var appProcs []int
+	for gid := 0; gid < cfg.Procs; gid++ {
+		if cfg.Requests == interrupts.Dedicated && gid%cfg.ProcsPerNode == cfg.ProcsPerNode-1 && cfg.Procs > 1 {
+			continue
+		}
+		appProcs = append(appProcs, gid)
+	}
+
+	run := stats.NewRun(cfg.Procs, nodes)
+	for gid := 0; gid < cfg.Procs; gid++ {
+		sys.Procs[gid].Bind(nil, &run.Procs[gid])
+	}
+	var maxEnd engine.Time
+	for i, gid := range appProcs {
+		appID, g := i, gid
+		sim.Spawn(fmt.Sprintf("proc%d", g), func(t *engine.Thread) {
+			c := shm.NewProc(w, sys.Procs[g], appID, len(appProcs), t)
+			c.P.Bind(t, &run.Procs[g])
+			app.Body(c, state)
+			c.P.Sync(t)
+			c.P.Stats.Busy = sim.Now()
+			if sim.Now() > maxEnd {
+				maxEnd = sim.Now()
+			}
+		})
+	}
+	res := &Result{Run: run, State: state, World: w}
+	if err := sim.Run(); err != nil {
+		return res, fmt.Errorf("machine: %s: %w", app.Name, err)
+	}
+	run.Cycles = maxEnd
+	if app.Check != nil {
+		if err := app.Check(w, state); err != nil {
+			return res, fmt.Errorf("machine: %s result check: %w", app.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// Uniprocessor derives the 1-processor configuration used as the speedup
+// baseline (no SVM activity: everything is local).
+func Uniprocessor(cfg Config) Config {
+	cfg.Procs = 1
+	cfg.ProcsPerNode = 1
+	return cfg
+}

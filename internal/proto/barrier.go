@@ -1,0 +1,210 @@
+package proto
+
+import (
+	"svmsim/internal/engine"
+	"svmsim/internal/interrupts"
+	"svmsim/internal/network"
+	"svmsim/internal/node"
+	"svmsim/internal/stats"
+	"svmsim/internal/trace"
+)
+
+// Barriers are hierarchical, per the paper's SMP protocol: processors first
+// synchronize within their node (hardware sharing); the last arriver closes
+// the node's interval, flushes diffs, and exchanges one synchronous message
+// pair with the barrier master (node 0). No interrupts are involved: the
+// master's last arriver is blocked at the barrier and polls for arrival
+// messages; the release is likewise deposited and polled.
+
+type barrierArriveMsg struct {
+	node int32
+	vc   []uint32
+	recs []Notice
+}
+
+type barrierReleaseMsg struct {
+	notices []Notice
+	vc      []uint32
+}
+
+type barrierState struct {
+	sys *System
+
+	// participants is the number of application processors per node that
+	// join barriers (one less than the node size when a processor is
+	// reserved for protocol processing).
+	participants int
+
+	// Per node: local arrival count, generation, and the wait condition.
+	arrived []int
+	gen     []uint64
+	cond    []*engine.Cond
+
+	// Master side: queued arrival payloads per source node.
+	inbox      [][]barrierArriveMsg
+	masterCond *engine.Cond
+
+	// Per node: queued release payloads.
+	releases [][]barrierReleaseMsg
+	relCond  []*engine.Cond
+}
+
+func newBarrier(sy *System) *barrierState {
+	n := len(sy.Nodes)
+	participants := sy.Cfg.ProcsPerNode
+	if sy.Cfg.Requests == interrupts.Dedicated && participants > 1 {
+		participants--
+	}
+	b := &barrierState{
+		sys:          sy,
+		participants: participants,
+		arrived:      make([]int, n),
+		gen:          make([]uint64, n),
+		cond:         make([]*engine.Cond, n),
+		inbox:        make([][]barrierArriveMsg, n),
+		masterCond:   engine.NewCond(sy.Sim),
+		releases:     make([][]barrierReleaseMsg, n),
+		relCond:      make([]*engine.Cond, n),
+	}
+	for i := 0; i < n; i++ {
+		b.cond[i] = engine.NewCond(sy.Sim)
+		b.relCond[i] = engine.NewCond(sy.Sim)
+	}
+	return b
+}
+
+// Barrier blocks p until every processor in the cluster has arrived.
+func (sy *System) Barrier(t *engine.Thread, p *node.Processor) {
+	b := sy.bar
+	ns := sy.ns[p.Node.ID]
+	nid := ns.id
+	p.Sync(t)
+	start := sy.Sim.Now()
+	sy.Trace.Emit(start, int32(p.GlobalID), trace.BarrierEnter, 0, 0)
+	p.Stats.Barriers++
+	p.Charge(t, sy.Prm.LocalBarrierCycles, stats.BarrierWait)
+	p.Sync(t)
+
+	b.arrived[nid]++
+	myGen := b.gen[nid]
+	if b.arrived[nid] < b.participants {
+		// Not last in the node: wait for the node-level release.
+		for b.gen[nid] == myGen {
+			p.Where = "barrier-local-wait"
+			b.cond[nid].Wait(t)
+			p.BlockedWake(t)
+		}
+		p.Where = ""
+		p.Stats.Time[stats.BarrierWait] += sy.Sim.Now() - start
+		sy.Trace.Emit(sy.Sim.Now(), int32(p.GlobalID), trace.BarrierExit, 0, 0)
+		return
+	}
+
+	// Last arriver in the node: close the interval (release semantics).
+	ns.closeInterval(t, p, false)
+
+	if nid == 0 {
+		sy.barrierMaster(t, p, ns)
+	} else {
+		sy.barrierLeaf(t, p, ns)
+	}
+
+	// Release the node's processors into the next phase.
+	b.arrived[nid] = 0
+	b.gen[nid]++
+	b.cond[nid].Broadcast()
+	p.Stats.Time[stats.BarrierWait] += sy.Sim.Now() - start
+	sy.Trace.Emit(sy.Sim.Now(), int32(p.GlobalID), trace.BarrierExit, 0, 0)
+}
+
+// barrierLeaf sends this node's arrival to the master and waits for the
+// release, applying the notices it carries.
+func (sy *System) barrierLeaf(t *engine.Thread, p *node.Processor, ns *nodeState) {
+	b := sy.bar
+	recs := ns.noticesSince(ns.lastBarrierVC)
+	vc := append([]uint32(nil), ns.vc...)
+	sy.send(t, &network.Message{
+		Kind:    network.BarrierArrive,
+		Src:     ns.id,
+		Dst:     0,
+		SrcProc: p.GlobalID,
+		Size:    sy.Prm.CtlBytes + 4*len(vc) + sy.noticesWireBytes(recs),
+		Payload: barrierArriveMsg{node: int32(ns.id), vc: vc, recs: recs},
+	}, p, true, true)
+
+	for len(b.releases[ns.id]) == 0 {
+		p.Where = "barrier-release-wait"
+		b.relCond[ns.id].Wait(t)
+		p.BlockedWake(t)
+	}
+	p.Where = ""
+	rel := b.releases[ns.id][0]
+	b.releases[ns.id] = b.releases[ns.id][1:]
+	ns.applyNotices(t, p, false, rel.notices, rel.vc)
+	p.Sync(t)
+	copy(ns.lastBarrierVC, ns.vc)
+	ns.truncateLog()
+}
+
+// barrierMaster gathers every node's arrival, merges notices and clocks, and
+// sends each node a tailored release.
+func (sy *System) barrierMaster(t *engine.Thread, p *node.Processor, ns *nodeState) {
+	b := sy.bar
+	n := len(sy.Nodes)
+	// Wait until every other node has arrived.
+	for {
+		ready := true
+		for i := 1; i < n; i++ {
+			if len(b.inbox[i]) == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		p.Where = "barrier-master-wait"
+		b.masterCond.Wait(t)
+		p.BlockedWake(t)
+	}
+	arr := make([]barrierArriveMsg, n)
+	for i := 1; i < n; i++ {
+		arr[i] = b.inbox[i][0]
+		b.inbox[i] = b.inbox[i][1:]
+	}
+	// Merge every node's notices into the master's state (in node order for
+	// determinism), invalidating the master's stale pages.
+	for i := 1; i < n; i++ {
+		ns.applyNotices(t, p, false, arr[i].recs, arr[i].vc)
+	}
+	p.Sync(t)
+	// Release each node with the notices it lacks.
+	for i := 1; i < n; i++ {
+		recs := ns.noticesSince(arr[i].vc)
+		vc := append([]uint32(nil), ns.vc...)
+		sy.send(t, &network.Message{
+			Kind:    network.BarrierRelease,
+			Src:     0,
+			Dst:     i,
+			SrcProc: p.GlobalID,
+			Size:    sy.Prm.CtlBytes + 4*len(vc) + sy.noticesWireBytes(recs),
+			Payload: barrierReleaseMsg{notices: recs, vc: vc},
+		}, p, true, true)
+	}
+	copy(ns.lastBarrierVC, ns.vc)
+	ns.truncateLog()
+}
+
+// handleArrive queues a node's arrival at the master (NI deposit).
+func (b *barrierState) handleArrive(m *network.Message) {
+	a := m.Payload.(barrierArriveMsg)
+	b.inbox[a.node] = append(b.inbox[a.node], a)
+	b.masterCond.Broadcast()
+}
+
+// handleRelease queues a release at a leaf node (NI deposit).
+func (b *barrierState) handleRelease(m *network.Message) {
+	r := m.Payload.(barrierReleaseMsg)
+	b.releases[m.Dst] = append(b.releases[m.Dst], r)
+	b.relCond[m.Dst].Broadcast()
+}

@@ -1,0 +1,440 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"svmsim/internal/engine"
+	"svmsim/internal/network"
+	"svmsim/internal/node"
+	"svmsim/internal/stats"
+	"svmsim/internal/trace"
+)
+
+// WatchAddr and WatchLog form a debugging watchpoint: when WatchLog is
+// non-nil, every event affecting the word at WatchAddr (application writes,
+// diff/update application, page installs, invalidations of its page) is
+// reported. Used by tests to localize coherence anomalies.
+var (
+	WatchAddr uint64
+	WatchLog  func(format string, args ...any)
+)
+
+func watch(format string, args ...any) {
+	if WatchLog != nil {
+		WatchLog(format, args...)
+	}
+}
+
+// pageReq and pageReply are the page-fetch payloads.
+type pageReq struct {
+	page  int32
+	epoch uint32
+}
+
+type pageReply struct {
+	page  int32
+	epoch uint32
+	data  []byte
+}
+
+// ReadWord performs a shared-memory read of the aligned 8-byte word at addr
+// on processor p, driving the SVM protocol (page fault and fetch when the
+// page is invalid) and the cache timing model.
+func (sy *System) ReadWord(t *engine.Thread, p *node.Processor, addr uint64) uint64 {
+	sy.ensure(t, p, addr, false)
+	p.Access(t, addr, false)
+	return p.Node.ReadWord(addr)
+}
+
+// WriteWord performs a shared-memory write of the aligned 8-byte word at
+// addr, driving write detection (twin creation under HLRC, update
+// propagation under AURC) and the cache timing model. Like hardware, the
+// protection check and the store are atomic: if the page is invalidated
+// while the access stalls (a yield inside the timing model), the write
+// faults again instead of landing on a stale copy.
+func (sy *System) WriteWord(t *engine.Thread, p *node.Processor, addr uint64, v uint64) {
+	ns := sy.ns[p.Node.ID]
+	pg := sy.PageOf(addr)
+	for {
+		sy.ensure(t, p, addr, true)
+		p.Access(t, addr, true)
+		if ns.state[pg] == pgWritable {
+			break
+		}
+	}
+	if WatchLog != nil && addr == WatchAddr {
+		watch("[%d] write addr=%d val=%d node=%d proc=%d (old=%d)", sy.Sim.Now(), addr, int64(v), p.Node.ID, p.GlobalID, int64(p.Node.ReadWord(addr)))
+	}
+	p.Node.WriteWord(addr, v)
+	if sy.Prm.Mode == AURC {
+		if home := sy.pageHome[pg]; home >= 0 && int(home) != ns.id {
+			ns.aurcCapture(t, p, pg, addr, v)
+		}
+	}
+}
+
+// ensure makes the page containing addr readable (write=false) or writable
+// (write=true) on p's node, blocking through the protocol as needed.
+func (sy *System) ensure(t *engine.Thread, p *node.Processor, addr uint64, write bool) {
+	ns := sy.ns[p.Node.ID]
+	pg := sy.PageOf(addr)
+	st := ns.state[pg]
+	// Fast paths first: no engine interaction.
+	if st == pgWritable || (st == pgReadOnly && !write) {
+		return
+	}
+	// First touch: claim the home.
+	if sy.pageHome[pg] < 0 {
+		sy.pageHome[pg] = int32(ns.id)
+		if write {
+			ns.makeWritable(t, p, pg, false)
+		} else {
+			ns.state[pg] = pgReadOnly
+		}
+		return
+	}
+	home := int(sy.pageHome[pg])
+	for {
+		switch ns.state[pg] {
+		case pgWritable:
+			return
+		case pgReadOnly:
+			if !write {
+				return
+			}
+			if ns.makeWritable(t, p, pg, true) {
+				return
+			}
+			// Invalidated while the fault cost was being charged: retry.
+		case pgInvalid:
+			if home == ns.id {
+				// The home never invalidates its own copy.
+				ns.state[pg] = pgReadOnly
+				continue
+			}
+			ns.fetch(t, p, pg)
+		}
+	}
+}
+
+// makeWritable transitions a page to the writable state, creating a twin
+// under HLRC when the node is not the page's home. fault indicates a real
+// protection fault (charged); first-touch claims are free. It returns false
+// when the page was invalidated while the fault cost was being charged (the
+// caller must re-validate and retry). All protocol state mutations happen
+// without yielding, so a concurrent invalidation always sees a consistent
+// (twin present iff writable-non-home) page.
+func (ns *nodeState) makeWritable(t *engine.Thread, p *node.Processor, pg int32, fault bool) bool {
+	sy := ns.sys
+	if fault {
+		p.Stats.PageFaults++
+		// Charging can yield; re-validate the page state afterwards.
+		p.Charge(t, sy.Prm.FaultCycles+sy.Prm.TLBCycles, stats.LocalStall)
+		if ns.state[pg] == pgInvalid {
+			return false
+		}
+		if ns.state[pg] == pgWritable {
+			return true // another local processor upgraded it meanwhile
+		}
+	}
+	home := sy.pageHome[pg]
+	var twinCost engine.Time
+	if sy.Prm.Mode == HLRC && int(home) != ns.id {
+		if _, ok := ns.twins[pg]; !ok {
+			base := sy.PageAddr(pg)
+			twin := make([]byte, sy.Prm.PageBytes)
+			copy(twin, p.Node.Mem[base:base+uint64(sy.Prm.PageBytes)])
+			ns.twins[pg] = twin
+			twinCost = engine.Time(sy.Prm.PageBytes/8) * sy.Prm.TwinWordCycles
+		}
+	}
+	ns.state[pg] = pgWritable
+	ns.dirty[pg] = struct{}{}
+	if twinCost > 0 {
+		// Charged after the atomic transition; an invalidation landing in
+		// this yield finds a consistent writable page and diffs it normally.
+		p.Charge(t, twinCost, stats.DiffTime)
+	}
+	return true
+}
+
+// fetch brings pg from its home, blocking p until the page is valid.
+func (ns *nodeState) fetch(t *engine.Thread, p *node.Processor, pg int32) {
+	sy := ns.sys
+	p.Stats.PageFaults++
+	p.Sync(t)
+	start := sy.Sim.Now()
+	sy.Trace.Emit(start, int32(p.GlobalID), trace.FetchStart, int64(pg), 0)
+	p.Charge(t, sy.Prm.FaultCycles+sy.Prm.TLBCycles, stats.LocalStall)
+	p.Sync(t)
+
+	if sy.Prm.AllLocal {
+		// Ablation: faults are served locally; teleport the data. The
+		// flush-before-fetch ordering still applies: our own in-flight diff
+		// must reach the home before we copy its content back.
+		for ns.diffFlight[pg] > 0 {
+			ns.ackCond.Wait(t)
+			p.BlockedWake(t)
+		}
+		if ns.state[pg] != pgInvalid {
+			return // installed while waiting for the flush
+		}
+		home := int(sy.pageHome[pg])
+		base := sy.PageAddr(pg)
+		copy(p.Node.Mem[base:base+uint64(sy.Prm.PageBytes)], sy.Nodes[home].Mem[base:base+uint64(sy.Prm.PageBytes)])
+		p.Node.InvalidateRange(base, sy.Prm.PageBytes)
+		ns.state[pg] = pgReadOnly
+		return
+	}
+
+	// Re-check and re-issue on every wakeup: the page can be installed and
+	// invalidated again before this waiter runs, in which case no request
+	// remains outstanding and someone must send a fresh one. A request may
+	// only leave once our own flush of the page has been acknowledged by
+	// the home (flush-before-fetch ordering).
+	for ns.state[pg] == pgInvalid {
+		if ns.diffFlight[pg] > 0 {
+			p.Where = fmt.Sprintf("diff-flight-wait pg=%d", pg)
+			ns.ackCond.Wait(t)
+			p.BlockedWake(t)
+			continue
+		}
+		if !ns.fetching[pg] {
+			ns.fetching[pg] = true
+			p.Stats.PageFetches++
+			epoch := ns.fetchEpoch[pg]
+			if WatchLog != nil && pg == sy.PageOf(WatchAddr) {
+				watch("[%d] fetch-issue pg=%d epoch=%d node=%d proc=%d", sy.Sim.Now(), pg, epoch, ns.id, p.GlobalID)
+			}
+			sy.send(t, &network.Message{
+				Kind:    network.PageRequest,
+				Src:     ns.id,
+				Dst:     int(sy.pageHome[pg]),
+				SrcProc: p.GlobalID,
+				Size:    sy.Prm.CtlBytes,
+				Payload: pageReq{page: pg, epoch: epoch},
+			}, p, true, true)
+			if ns.state[pg] != pgInvalid {
+				break
+			}
+		}
+		p.Where = fmt.Sprintf("fetch-wait pg=%d epoch=%d fetching=%v", pg, ns.fetchEpoch[pg], ns.fetching[pg])
+		ns.fetchCond.Wait(t)
+		p.BlockedWake(t)
+	}
+	p.Where = ""
+	sy.Trace.Emit(sy.Sim.Now(), int32(p.GlobalID), trace.FetchEnd, int64(pg), 0)
+	p.Stats.Time[stats.DataWait] += sy.Sim.Now() - start
+}
+
+// handlePageRequest runs in an interrupt handler on the home node.
+func (sy *System) handlePageRequest(ht *engine.Thread, victim *node.Processor, m *network.Message) {
+	ht.Delay(sy.Prm.TLBCycles + sy.Prm.PageHandlerCycles)
+	sy.servePageRequest(ht, victim, m)
+}
+
+// servePageRequest snapshots the page and posts the reply. It runs either
+// in a host interrupt handler (victim set) or directly on the NI receive
+// thread when NIServePages is enabled (victim nil: no host overhead).
+func (sy *System) servePageRequest(t *engine.Thread, victim *node.Processor, m *network.Message) {
+	req := m.Payload.(pageReq)
+	base := sy.PageAddr(req.page)
+	data := make([]byte, sy.Prm.PageBytes)
+	copy(data, sy.Nodes[m.Dst].Mem[base:base+uint64(sy.Prm.PageBytes)])
+	if WatchLog != nil && req.page == sy.PageOf(WatchAddr) {
+		watch("[%d] page-req-served pg=%d epoch=%d home n%d for n%d watched=%d", sy.Sim.Now(), req.page, req.epoch, m.Dst, m.Src, int64(sy.Nodes[m.Dst].ReadWord(WatchAddr)))
+	}
+	sy.send(t, &network.Message{
+		Kind:    network.PageReply,
+		Src:     m.Dst,
+		Dst:     m.Src,
+		SrcProc: sy.statsProcID(m.Dst, victim),
+		Size:    sy.Prm.PageBytes + sy.Prm.CtlBytes,
+		Payload: pageReply{page: req.page, epoch: req.epoch, data: data},
+	}, victim, victim != nil, false)
+}
+
+// handlePageReply installs a fetched page; it runs on the receiving NI
+// thread (direct deposit, no interrupt).
+func (sy *System) handlePageReply(m *network.Message) {
+	rep := m.Payload.(pageReply)
+	ns := sy.ns[m.Dst]
+	pg := rep.page
+	if WatchLog != nil && pg == sy.PageOf(WatchAddr) {
+		watch("[%d] reply pg=%d epoch=%d cur-epoch=%d state=%d fetching=%v at n%d", sy.Sim.Now(), pg, rep.epoch, ns.fetchEpoch[pg], ns.state[pg], ns.fetching[pg], ns.id)
+	}
+	if rep.epoch != ns.fetchEpoch[pg] {
+		// The page was invalidated while the fetch was in flight; the copy
+		// is stale. Re-request with the current epoch (NI-generated).
+		ns.sys.send(nil, &network.Message{
+			Kind:    network.PageRequest,
+			Src:     ns.id,
+			Dst:     int(sy.pageHome[pg]),
+			SrcProc: sy.Nodes[ns.id].Procs[0].GlobalID,
+			Size:    sy.Prm.CtlBytes,
+			Payload: pageReq{page: pg, epoch: ns.fetchEpoch[pg]},
+		}, nil, false, false)
+		return
+	}
+	if ns.state[pg] != pgInvalid || !ns.fetching[pg] {
+		// Duplicate or superseded reply (an epoch re-request can race with
+		// an already-installed copy): never clobber a valid page.
+		ns.fetching[pg] = false
+		return
+	}
+	base := sy.PageAddr(pg)
+	nd := sy.Nodes[m.Dst]
+	if WatchLog != nil && WatchAddr >= base && WatchAddr < base+uint64(sy.Prm.PageBytes) {
+		off := WatchAddr - base
+		watch("[%d] page-install pg=%d at node=%d watched-word=%d (was %d)", sy.Sim.Now(), pg, m.Dst,
+			int64(uint64(rep.data[off])|uint64(rep.data[off+1])<<8|uint64(rep.data[off+2])<<16|uint64(rep.data[off+3])<<24|uint64(rep.data[off+4])<<32|uint64(rep.data[off+5])<<40|uint64(rep.data[off+6])<<48|uint64(rep.data[off+7])<<56),
+			int64(nd.ReadWord(WatchAddr)))
+	}
+	copy(nd.Mem[base:base+uint64(sy.Prm.PageBytes)], rep.data)
+	nd.InvalidateRange(base, sy.Prm.PageBytes)
+	ns.fetching[pg] = false
+	ns.state[pg] = pgReadOnly
+	ns.fetchCond.Broadcast()
+}
+
+// invalidatePage applies one write notice entry at a node: flush pending
+// local modifications (diff to home under HLRC), then drop the copy. The
+// home never invalidates. Returns true if the page state changed.
+func (ns *nodeState) invalidatePage(t *engine.Thread, p *node.Processor, handler bool, pg int32) bool {
+	sy := ns.sys
+	if int(sy.pageHome[pg]) == ns.id {
+		return false
+	}
+	// Concurrent multiple writers (false sharing across locks): commit our
+	// own modifications before dropping the page. diffPage yields after its
+	// atomic snapshot+transition, and a racing local write may re-twin the
+	// page during that yield, so loop until the page is observed clean with
+	// no intervening yield. The page stays in the dirty set so the next
+	// interval's write notice still announces our writes.
+	for ns.state[pg] == pgWritable {
+		if sy.Prm.Mode == HLRC {
+			ns.diffPage(t, p, handler, pg)
+		} else {
+			ns.aurcFlush(t, p, handler)
+			ns.state[pg] = pgReadOnly
+		}
+	}
+	if ns.state[pg] == pgInvalid {
+		ns.fetchEpoch[pg]++
+		return false
+	}
+	if WatchLog != nil && pg == sy.PageOf(WatchAddr) {
+		watch("[%d] invalidate pg=%d at node=%d watched-word=%d", sy.Sim.Now(), pg, ns.id, int64(sy.Nodes[ns.id].ReadWord(WatchAddr)))
+	}
+	// State is pgReadOnly here and nothing has yielded since the check:
+	// the transition below is atomic. The fetch epoch advances on EVERY
+	// invalidation (it is an invalidation counter): a reply whose snapshot
+	// was taken at the home before a later invalidation-and-flush of this
+	// node's copy must never install over the fresher state, even when no
+	// fetch was in flight at invalidation time.
+	ns.state[pg] = pgInvalid
+	ns.fetchEpoch[pg]++
+	base := sy.PageAddr(pg)
+	sy.Nodes[ns.id].InvalidateRange(base, sy.Prm.PageBytes)
+	return true
+}
+
+// applyNotices merges incoming write notices and the sender's vector clock,
+// invalidating stale pages. The per-page processing cost is charged to the
+// caller. Returns the number of pages invalidated.
+func (ns *nodeState) applyNotices(t *engine.Thread, p *node.Processor, handler bool, notices []Notice, vc []uint32) int {
+	sy := ns.sys
+	inv := 0
+	for _, rec := range notices {
+		o := rec.Origin
+		if rec.Interval <= ns.vc[o] {
+			continue // already known
+		}
+		ns.appendLog(rec)
+		for _, pg := range rec.Pages {
+			if ns.invalidatePage(t, p, handler, pg) {
+				inv++
+			}
+		}
+		if rec.Interval > ns.vc[o] {
+			ns.vc[o] = rec.Interval
+		}
+	}
+	for i, v := range vc {
+		if v > ns.vc[i] {
+			ns.vc[i] = v
+		}
+	}
+	if inv > 0 && p != nil {
+		p.Charge(t, engine.Time(inv)*sy.Prm.InvalidatePageCycles, stats.LocalStall)
+	}
+	return inv
+}
+
+// appendLog records a notice in the per-origin log, keeping ascending
+// interval order and skipping duplicates and already-truncated intervals.
+func (ns *nodeState) appendLog(rec Notice) {
+	if rec.Interval <= ns.logBase[rec.Origin] {
+		return // truncated: globally known since the last barrier
+	}
+	l := ns.log[rec.Origin]
+	n := len(l)
+	if n == 0 || l[n-1].Interval < rec.Interval {
+		ns.log[rec.Origin] = append(l, rec)
+		return
+	}
+	// Out-of-order or duplicate: insert if missing.
+	i := sort.Search(n, func(i int) bool { return l[i].Interval >= rec.Interval })
+	if i < n && l[i].Interval == rec.Interval {
+		return
+	}
+	l = append(l, Notice{})
+	copy(l[i+1:], l[i:])
+	l[i] = rec
+	ns.log[rec.Origin] = l
+}
+
+// truncateLog drops log entries every node is guaranteed to know (interval
+// <= lastBarrierVC[origin]); safe because no request with an older vector
+// clock can be outstanding across a barrier (its issuer would be blocked in
+// the acquire and could not have reached the barrier).
+func (ns *nodeState) truncateLog() {
+	for o := range ns.log {
+		cut := ns.lastBarrierVC[o]
+		if cut <= ns.logBase[o] {
+			continue
+		}
+		l := ns.log[o]
+		i := sort.Search(len(l), func(i int) bool { return l[i].Interval > cut })
+		ns.log[o] = append([]Notice(nil), l[i:]...)
+		ns.logBase[o] = cut
+	}
+}
+
+// noticesSince collects all notices with interval greater than vc, per
+// origin, for transmission to an acquirer.
+func (ns *nodeState) noticesSince(vc []uint32) []Notice {
+	var out []Notice
+	for o := range ns.log {
+		l := ns.log[o]
+		i := sort.Search(len(l), func(i int) bool { return l[i].Interval > vc[o] })
+		out = append(out, l[i:]...)
+	}
+	return out
+}
+
+// noticesWireBytes sizes a notice set on the wire.
+func (sy *System) noticesWireBytes(recs []Notice) int {
+	n := 0
+	for _, r := range recs {
+		n += sy.Prm.NoticeBytes + 4*len(r.Pages)
+	}
+	return n
+}
+
+// readWordRaw reads a word from a specific node's image (protocol use).
+func readWordRaw(nd *node.Node, addr uint64) uint64 {
+	return binary.LittleEndian.Uint64(nd.Mem[addr:])
+}

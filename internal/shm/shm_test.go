@@ -1,0 +1,156 @@
+package shm_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"svmsim/internal/machine"
+	"svmsim/internal/shm"
+)
+
+func cfg() machine.Config {
+	c := machine.Achievable()
+	c.Procs = 4
+	c.ProcsPerNode = 2
+	c.HeapBytes = 1 << 20
+	return c
+}
+
+func TestTypedAccessorsRoundTrip(t *testing.T) {
+	app := machine.App{
+		Name: "typed",
+		Setup: func(w *shm.World) any {
+			return w.Alloc(256)
+		},
+		Body: func(c *shm.Proc, state any) {
+			if c.ID != 0 {
+				c.Barrier()
+				return
+			}
+			a := state.(shm.Addr)
+			c.WriteU64(a, 0xdeadbeef)
+			if c.ReadU64(a) != 0xdeadbeef {
+				panic("u64 roundtrip")
+			}
+			c.WriteI64(a+8, -42)
+			if c.ReadI64(a+8) != -42 {
+				panic("i64 roundtrip")
+			}
+			c.WriteF64(a+16, math.Pi)
+			if c.ReadF64(a+16) != math.Pi {
+				panic("f64 roundtrip")
+			}
+			c.WriteF64(a+24, math.Inf(-1))
+			if !math.IsInf(c.ReadF64(a+24), -1) {
+				panic("inf roundtrip")
+			}
+			c.Barrier()
+		},
+	}
+	if _, err := machine.Run(cfg(), app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	app := machine.App{
+		Name: "align",
+		Setup: func(w *shm.World) any {
+			a := w.Alloc(24)
+			b := w.AllocAlign(100, 64)
+			p := w.AllocPages(10)
+			if a%8 != 0 || b%64 != 0 || p%uint64(w.PageBytes()) != 0 {
+				t.Errorf("misaligned: %d %d %d", a, b, p)
+			}
+			if b < a+24 {
+				t.Error("allocations overlap")
+			}
+			return nil
+		},
+		Body: func(c *shm.Proc, state any) {},
+	}
+	if _, err := machine.Run(cfg(), app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministicPerProc(t *testing.T) {
+	collect := func() [][3]uint64 {
+		out := make([][3]uint64, 4)
+		app := machine.App{
+			Name:  "rand",
+			Setup: func(w *shm.World) any { return nil },
+			Body: func(c *shm.Proc, state any) {
+				out[c.ID] = [3]uint64{c.Rand(), c.Rand(), c.Rand()}
+			},
+		}
+		if _, err := machine.Run(cfg(), app); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("proc %d PRNG not deterministic", i)
+		}
+		for j := range a {
+			if i != j && a[i] == a[j] {
+				t.Fatalf("procs %d and %d share a PRNG stream", i, j)
+			}
+		}
+	}
+}
+
+func TestRandNBounds(t *testing.T) {
+	app := machine.App{
+		Name:  "randn",
+		Setup: func(w *shm.World) any { return nil },
+		Body: func(c *shm.Proc, state any) {
+			for i := 0; i < 1000; i++ {
+				if v := c.RandN(7); v < 0 || v >= 7 {
+					panic("RandN out of range")
+				}
+				if f := c.RandFloat(); f < 0 || f >= 1 {
+					panic("RandFloat out of range")
+				}
+			}
+			if c.RandN(0) != 0 || c.RandN(-3) != 0 {
+				panic("RandN degenerate cases")
+			}
+		},
+	}
+	if _, err := machine.Run(cfg(), app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockOfProperty: the block partition always covers [0,n) exactly once
+// with balanced sizes.
+func TestBlockOfProperty(t *testing.T) {
+	f := func(nRaw, tRaw uint16) bool {
+		n := int(nRaw % 2000)
+		total := int(tRaw%31) + 1
+		seen := 0
+		minSz, maxSz := 1<<30, -1
+		for id := 0; id < total; id++ {
+			lo, hi := shm.BlockOf(n, id, total)
+			if lo != seen {
+				return false
+			}
+			seen = hi
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		return seen == n && (n == 0 || maxSz-minSz <= 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package stats holds the counters and time-breakdown accounting that the
+// paper's tables and figures are computed from. All times are processor
+// cycles (uint64), matching engine.Time.
+package stats
+
+import "fmt"
+
+// TimeKind classifies where a simulated processor's cycles went. The
+// breakdown mirrors the paper's analysis: compute, local (cache/memory)
+// stall, data wait (remote page fetches), lock wait, barrier wait, protocol
+// handler time stolen by interrupts, and host send overhead.
+type TimeKind int
+
+const (
+	Compute TimeKind = iota
+	LocalStall
+	DataWait
+	LockWait
+	BarrierWait
+	HandlerSteal
+	SendOverhead
+	DiffTime
+	NumTimeKinds
+)
+
+var timeKindNames = [NumTimeKinds]string{
+	"compute", "local-stall", "data-wait", "lock-wait",
+	"barrier-wait", "handler", "send-overhead", "diff",
+}
+
+// String returns the time kind's short name.
+func (k TimeKind) String() string {
+	if k < 0 || k >= NumTimeKinds {
+		return fmt.Sprintf("TimeKind(%d)", int(k))
+	}
+	return timeKindNames[k]
+}
+
+// Proc accumulates per-processor statistics for one simulation run.
+type Proc struct {
+	Time [NumTimeKinds]uint64
+
+	// Protocol events (Table 2).
+	PageFaults  uint64 // protection faults (read fetch faults + write twin faults)
+	PageFetches uint64 // remote page fetches
+	LocalLocks  uint64 // lock acquires satisfied within the node
+	RemoteLocks uint64 // lock acquires requiring remote messages
+	Barriers    uint64
+
+	// Communication (Figures 3 and 4). Counted at the sending processor,
+	// including protocol handler replies it produced.
+	MsgsSent  uint64
+	BytesSent uint64
+
+	// Memory hierarchy.
+	L1Hits, L2Hits, Misses, WBHits uint64
+
+	// Interrupts taken on this processor (as victim).
+	Interrupts uint64
+
+	// DiffsCreated / DiffWords track HLRC diff activity.
+	DiffsCreated uint64
+	DiffWords    uint64
+
+	// UpdatesSent tracks AURC automatic-update words sent.
+	UpdatesSent uint64
+
+	// Busy is the total busy time: end-of-run local time.
+	Busy uint64
+}
+
+// Total returns the sum of all time categories.
+func (p *Proc) Total() uint64 {
+	var t uint64
+	for _, v := range p.Time {
+		t += v
+	}
+	return t
+}
+
+// Run aggregates a whole simulation run.
+type Run struct {
+	Procs []Proc
+	// Cycles is the parallel execution time (end of the last processor).
+	Cycles uint64
+	// NodeCount and ProcsPerNode record the configuration.
+	NodeCount    int
+	ProcsPerNode int
+}
+
+// NewRun creates a Run for n processors.
+func NewRun(n, nodes int) *Run {
+	ppn := 1
+	if nodes > 0 {
+		ppn = n / nodes
+	}
+	return &Run{Procs: make([]Proc, n), NodeCount: nodes, ProcsPerNode: ppn}
+}
+
+// Sum returns the aggregate of a per-proc accessor over all processors.
+func (r *Run) Sum(f func(*Proc) uint64) uint64 {
+	var t uint64
+	for i := range r.Procs {
+		t += f(&r.Procs[i])
+	}
+	return t
+}
+
+// MeanPerProc returns the mean of a per-proc accessor.
+func (r *Run) MeanPerProc(f func(*Proc) uint64) float64 {
+	if len(r.Procs) == 0 {
+		return 0
+	}
+	return float64(r.Sum(f)) / float64(len(r.Procs))
+}
+
+// ComputeCycles returns the total compute time across processors.
+func (r *Run) ComputeCycles() uint64 {
+	return r.Sum(func(p *Proc) uint64 { return p.Time[Compute] })
+}
+
+// PerMComputeCycles normalizes an aggregate count to "per processor per
+// million compute cycles", the unit used by Table 2 and Figures 3-4.
+func (r *Run) PerMComputeCycles(count uint64) float64 {
+	cc := r.ComputeCycles()
+	if cc == 0 {
+		return 0
+	}
+	return float64(count) / (float64(cc) / 1e6)
+}
+
+// CriticalPath returns the max over processors of compute + local stall, the
+// denominator of the paper's ideal speedup.
+func (r *Run) CriticalPath() uint64 {
+	var m uint64
+	for i := range r.Procs {
+		v := r.Procs[i].Time[Compute] + r.Procs[i].Time[LocalStall]
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Speedups bundles the three speedup figures the paper reports for a single
+// application: the realistic/achievable speedup, plus the ideal speedup
+// limit computed from the same run.
+type Speedups struct {
+	Uniproc    uint64  // uniprocessor execution time (cycles)
+	Parallel   uint64  // parallel execution time (cycles)
+	Ideal      float64 // uniproc / max_p(compute+localstall)
+	Achievable float64 // uniproc / parallel
+}
+
+// ComputeSpeedups derives speedups from a uniprocessor time and a parallel
+// run.
+func ComputeSpeedups(uniproc uint64, run *Run) Speedups {
+	s := Speedups{Uniproc: uniproc, Parallel: run.Cycles}
+	if cp := run.CriticalPath(); cp > 0 {
+		s.Ideal = float64(uniproc) / float64(cp)
+	}
+	if run.Cycles > 0 {
+		s.Achievable = float64(uniproc) / float64(run.Cycles)
+	}
+	return s
+}
+
+// Slowdown returns the percentage slowdown of b relative to a
+// ((Tb-Ta)/Ta*100) given two execution times. Negative values are speedups,
+// matching the sign convention of the paper's Table 3.
+func Slowdown(ta, tb uint64) float64 {
+	if ta == 0 {
+		return 0
+	}
+	return (float64(tb) - float64(ta)) / float64(ta) * 100
+}

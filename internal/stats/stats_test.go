@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeKindNames(t *testing.T) {
+	for k := TimeKind(0); k < NumTimeKinds; k++ {
+		if k.String() == "" || k.String()[0] == 'T' {
+			t.Errorf("kind %d has bad name %q", k, k.String())
+		}
+	}
+	if TimeKind(99).String() != "TimeKind(99)" {
+		t.Errorf("out-of-range kind: %q", TimeKind(99).String())
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	r := NewRun(4, 2)
+	if r.ProcsPerNode != 2 || r.NodeCount != 2 {
+		t.Fatalf("topology %d/%d", r.NodeCount, r.ProcsPerNode)
+	}
+	for i := range r.Procs {
+		r.Procs[i].PageFetches = uint64(i + 1)
+		r.Procs[i].Time[Compute] = 1_000_000
+		r.Procs[i].Time[LocalStall] = uint64(i) * 100
+	}
+	if got := r.Sum(func(p *Proc) uint64 { return p.PageFetches }); got != 10 {
+		t.Errorf("Sum=%d want 10", got)
+	}
+	if got := r.MeanPerProc(func(p *Proc) uint64 { return p.PageFetches }); got != 2.5 {
+		t.Errorf("Mean=%v want 2.5", got)
+	}
+	// 10 fetches over 4M compute cycles = 2.5 per 1M.
+	if got := r.PerMComputeCycles(10); got != 2.5 {
+		t.Errorf("PerM=%v want 2.5", got)
+	}
+	// Critical path = max(compute+stall) = 1,000,300.
+	if got := r.CriticalPath(); got != 1_000_300 {
+		t.Errorf("CriticalPath=%d", got)
+	}
+}
+
+func TestSpeedupsMath(t *testing.T) {
+	r := NewRun(2, 1)
+	r.Cycles = 500
+	r.Procs[0].Time[Compute] = 400
+	r.Procs[1].Time[Compute] = 300
+	r.Procs[1].Time[LocalStall] = 50
+	sp := ComputeSpeedups(1000, r)
+	if sp.Achievable != 2.0 {
+		t.Errorf("achievable %v", sp.Achievable)
+	}
+	if sp.Ideal != 2.5 { // 1000 / 400
+		t.Errorf("ideal %v", sp.Ideal)
+	}
+}
+
+func TestSlowdownSign(t *testing.T) {
+	if got := Slowdown(100, 150); got != 50 {
+		t.Errorf("slowdown %v want 50", got)
+	}
+	if got := Slowdown(100, 80); got != -20 {
+		t.Errorf("speedup %v want -20", got)
+	}
+	if got := Slowdown(0, 80); got != 0 {
+		t.Errorf("degenerate %v want 0", got)
+	}
+}
+
+// TestSlowdownProperty: round-tripping a slowdown back through the formula
+// recovers the ratio.
+func TestSlowdownProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a := uint64(aRaw%100000) + 1
+		b := uint64(bRaw%100000) + 1
+		s := Slowdown(a, b)
+		recovered := float64(a) * (1 + s/100)
+		return math.Abs(recovered-float64(b)) < 1e-6*float64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcTotal(t *testing.T) {
+	var p Proc
+	p.Time[Compute] = 10
+	p.Time[DataWait] = 5
+	p.Time[HandlerSteal] = 1
+	if p.Total() != 16 {
+		t.Errorf("Total=%d", p.Total())
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace records time-stamped protocol events from a simulation run:
+// page faults and fetches, lock and barrier activity, diffs, updates and
+// interrupts. Recording is optional (nil recorder = zero cost) and bounded;
+// the package also provides the analysis helpers used by cmd/svmsim -trace
+// (latency extraction, percentiles, per-kind counts).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a protocol event.
+type Kind uint8
+
+const (
+	// FetchStart marks a processor beginning a remote page fetch (Arg1 =
+	// page).
+	FetchStart Kind = iota
+	// FetchEnd marks the fetch completing (Arg1 = page).
+	FetchEnd
+	// AcquireStart marks a lock acquire beginning (Arg1 = lock).
+	AcquireStart
+	// AcquireEnd marks the lock being held (Arg1 = lock, Arg2 = 1 if the
+	// acquire was remote).
+	AcquireEnd
+	// Release marks a lock release (Arg1 = lock).
+	Release
+	// BarrierEnter marks arrival at a barrier.
+	BarrierEnter
+	// BarrierExit marks departure from a barrier.
+	BarrierExit
+	// Diff marks an HLRC diff creation (Arg1 = page, Arg2 = words).
+	Diff
+	// Update marks an AURC update flush (Arg1 = destination node, Arg2 =
+	// words).
+	Update
+	// Interrupt marks a request handler dispatch (Arg1 = victim global
+	// processor).
+	Interrupt
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"fetch-start", "fetch-end", "acquire-start", "acquire-end", "release",
+	"barrier-enter", "barrier-exit", "diff", "update", "interrupt",
+}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	At   uint64 // simulated cycle
+	Proc int32  // global processor ID (-1 for node-level events)
+	Kind Kind
+	Arg1 int64
+	Arg2 int64
+}
+
+// Recorder collects events up to a capacity; further events are counted but
+// dropped (the Dropped counter reports how many).
+type Recorder struct {
+	Events  []Event
+	Cap     int
+	Dropped uint64
+}
+
+// NewRecorder creates a recorder holding up to capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Recorder{Cap: capacity}
+}
+
+// Emit records one event; nil recorders are safe to call.
+func (r *Recorder) Emit(at uint64, proc int32, k Kind, a1, a2 int64) {
+	if r == nil {
+		return
+	}
+	if len(r.Events) >= r.Cap {
+		r.Dropped++
+		return
+	}
+	r.Events = append(r.Events, Event{At: at, Proc: proc, Kind: k, Arg1: a1, Arg2: a2})
+}
+
+// Counts returns the number of events per kind.
+func (r *Recorder) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Dump writes the last n events (or all, if n <= 0) in a readable form.
+func (r *Recorder) Dump(w io.Writer, n int) {
+	evs := r.Events
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	for _, e := range evs {
+		fmt.Fprintf(w, "[%12d] proc%-3d %-14s arg1=%d arg2=%d\n", e.At, e.Proc, e.Kind, e.Arg1, e.Arg2)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, "(%d events dropped beyond capacity %d)\n", r.Dropped, r.Cap)
+	}
+}
+
+// Latencies pairs start/end kinds per (processor, Arg1) and returns the
+// elapsed cycles of each completed span, in completion order. Unmatched
+// starts are ignored.
+func (r *Recorder) Latencies(start, end Kind) []uint64 {
+	type key struct {
+		proc int32
+		arg  int64
+	}
+	open := make(map[key][]uint64)
+	var out []uint64
+	for _, e := range r.Events {
+		k := key{e.Proc, e.Arg1}
+		switch e.Kind {
+		case start:
+			open[k] = append(open[k], e.At)
+		case end:
+			if stack := open[k]; len(stack) > 0 {
+				out = append(out, e.At-stack[len(stack)-1])
+				open[k] = stack[:len(stack)-1]
+			}
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0-100) of xs, or 0 when empty.
+func Percentile(xs []uint64, p float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary renders per-kind counts plus fetch and lock latency percentiles.
+func (r *Recorder) Summary(w io.Writer) {
+	counts := r.Counts()
+	fmt.Fprintf(w, "trace: %d events", len(r.Events))
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, " (+%d dropped)", r.Dropped)
+	}
+	fmt.Fprintln(w)
+	for k := Kind(0); k < numKinds; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(w, "  %-14s %8d\n", k, counts[k])
+		}
+	}
+	if fl := r.Latencies(FetchStart, FetchEnd); len(fl) > 0 {
+		fmt.Fprintf(w, "  fetch latency cycles: p50=%d p90=%d p99=%d max=%d (n=%d)\n",
+			Percentile(fl, 50), Percentile(fl, 90), Percentile(fl, 99), Percentile(fl, 100), len(fl))
+	}
+	if ll := r.Latencies(AcquireStart, AcquireEnd); len(ll) > 0 {
+		fmt.Fprintf(w, "  lock acquire cycles:  p50=%d p90=%d p99=%d max=%d (n=%d)\n",
+			Percentile(ll, 50), Percentile(ll, 90), Percentile(ll, 99), Percentile(ll, 100), len(ll))
+	}
+}
