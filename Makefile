@@ -1,0 +1,34 @@
+# Development checks for svmsim. `make check` is the CI gate: vet, build,
+# the full test suite, and the race detector over the packages with real
+# concurrency (the parallel experiment Runner and the engine).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-engine experiments
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exp/... ./internal/engine/...
+
+# Single-run and suite-level throughput benchmarks (before/after numbers for
+# EXPERIMENTS.md).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSingleRun|BenchmarkSuite' -benchmem .
+
+# Engine hot-path allocation guardrails.
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/engine/
+
+# Regenerate every table and figure of the paper (small sizes, parallel).
+experiments:
+	$(GO) run ./cmd/experiments

@@ -9,6 +9,7 @@ package svmsim_test
 //	go test -bench=Figure10 -v        # interrupt-cost sweep, with table
 
 import (
+	"runtime"
 	"testing"
 
 	"svmsim"
@@ -143,6 +144,32 @@ func BenchmarkSingleRun(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Run.Cycles), "simcycles/op")
+	}
+}
+
+// BenchmarkSuiteParallel runs a representative sweep bundle (host overhead,
+// interrupt cost and clustering: the cells behind Figures 5, 10 and 14)
+// through the parallel Runner at full GOMAXPROCS fan-out. Compare against
+// BenchmarkSuiteSerial for the multi-core speedup.
+func BenchmarkSuiteParallel(b *testing.B) {
+	benchSuiteFigures(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkSuiteSerial runs the same sweep bundle strictly serially.
+func BenchmarkSuiteSerial(b *testing.B) {
+	benchSuiteFigures(b, 1)
+}
+
+func benchSuiteFigures(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(exp.Small)
+		s.Parallelism = parallelism
+		for _, f := range []func() (*exp.Table, error){s.Figure5, s.Figure10, s.Figure14} {
+			if _, err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		size    = flag.String("size", "small", "problem size: small or default")
-		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		out     = flag.String("out", "", "also write rendered tables to this file")
-		procs   = flag.Int("procs", 16, "total processors")
-		ppn     = flag.Int("ppn", 4, "processors per node (baseline)")
-		verbose = flag.Bool("v", false, "progress output")
+		size     = flag.String("size", "small", "problem size: small or default")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		out      = flag.String("out", "", "also write rendered tables to this file")
+		procs    = flag.Int("procs", 16, "total processors")
+		ppn      = flag.Int("ppn", 4, "processors per node (baseline)")
+		parallel = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 	s := exp.NewSuite(sizes)
 	s.Procs = *procs
 	s.PPN = *ppn
+	s.Parallelism = *parallel
 	if *verbose {
 		s.Verbose = os.Stderr
 	}

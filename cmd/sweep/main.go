@@ -26,6 +26,7 @@ func main() {
 		appsFlag = flag.String("apps", "", "comma-separated workload subset (default: all)")
 		size     = flag.String("size", "small", "problem size: small or default")
 		mode     = flag.String("mode", "hlrc", "protocol: hlrc or aurc")
+		parallel = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -35,6 +36,7 @@ func main() {
 		sizes = exp.Default
 	}
 	s := exp.NewSuite(sizes)
+	s.Parallelism = *parallel
 	if *verbose {
 		s.Verbose = os.Stderr
 	}

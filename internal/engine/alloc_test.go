@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSchedulePathZeroAllocs pins the closure-free thread scheduling path to
+// zero allocations per event once the heap has reached steady-state capacity:
+// Delay/Unpark/Spawn dispatches are pure value pushes into the recycled heap
+// slice.
+func TestSchedulePathZeroAllocs(t *testing.T) {
+	s := New()
+	th := &Thread{sim: s, name: "probe"}
+	// Pre-grow the heap so push never reallocates during measurement.
+	for i := 0; i < 256; i++ {
+		s.scheduleThread(Time(i), th, evResume)
+	}
+	for len(s.events) > 0 {
+		s.events.pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.scheduleThread(s.now+10, th, evResume)
+		s.scheduleThread(s.now+20, th, evUnpark)
+		s.events.pop()
+		s.events.pop()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule path allocates %.1f objects per push/pop pair, want 0", allocs)
+	}
+}
+
+// TestTeardownNoGoroutineLeak checks that tearing down simulations with
+// parked threads unwinds their goroutines instead of leaking them.
+func TestTeardownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const sims = 20
+	for i := 0; i < sims; i++ {
+		s := New()
+		for j := 0; j < 4; j++ {
+			s.Spawn("parked", func(th *Thread) { th.Park() })
+		}
+		if err := s.Run(); err == nil {
+			t.Fatal("want DeadlockError from all-parked sim")
+		}
+	}
+	// Unwound goroutines exit asynchronously after teardown; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after teardown: before=%d after=%d", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// BenchmarkEngineDelay measures the full Delay round-trip (schedule, yield to
+// scheduler, dispatch, resume). The allocation report is the guardrail: the
+// schedule path must stay at 0 allocs/op.
+func BenchmarkEngineDelay(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	n := b.N
+	s.Spawn("delayer", func(th *Thread) {
+		for i := 0; i < n; i++ {
+			th.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineUnpark measures a Park/Unpark ping-pong between two threads.
+func BenchmarkEngineUnpark(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	n := b.N
+	var ping, pong *Thread
+	pong = s.Spawn("pong", func(th *Thread) {
+		for i := 0; i < n; i++ {
+			th.Park()
+			ping.Unpark()
+		}
+	})
+	ping = s.Spawn("ping", func(th *Thread) {
+		for i := 0; i < n; i++ {
+			pong.Unpark()
+			th.Park()
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

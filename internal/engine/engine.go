@@ -23,10 +23,26 @@ type Time = uint64
 // Forever is a sentinel "infinitely far in the future" time.
 const Forever Time = ^Time(0)
 
+// evKind discriminates what an event does at dispatch. Thread events carry a
+// typed resume target instead of a closure so the hot scheduling paths
+// (Delay, Unpark, Spawn) allocate nothing per event.
+type evKind uint8
+
+const (
+	// evCall runs fn in scheduler context.
+	evCall evKind = iota
+	// evResume transfers control to th (Delay wakeup, first Spawn dispatch).
+	evResume
+	// evUnpark transfers control to th, asserting it is actually parked.
+	evUnpark
+)
+
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	th   *Thread
+	fn   func()
+	kind evKind
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq).
@@ -124,7 +140,37 @@ func (s *Sim) schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("engine: scheduling into the past (at=%d now=%d)", at, s.now))
 	}
 	s.seq++
-	s.events.push(event{at: at, seq: s.seq, fn: fn})
+	s.events.push(event{at: at, seq: s.seq, fn: fn, kind: evCall})
+}
+
+// scheduleThread enqueues a closure-free thread event. Events are values in
+// the heap's recycled backing slice, so this path performs zero allocations
+// once the heap has reached its steady-state capacity.
+func (s *Sim) scheduleThread(at Time, t *Thread, kind evKind) {
+	if at < s.now {
+		panic(fmt.Sprintf("engine: scheduling into the past (at=%d now=%d)", at, s.now))
+	}
+	s.seq++
+	s.events.push(event{at: at, seq: s.seq, th: t, kind: kind})
+}
+
+// dispatch executes one popped event at the already-advanced clock.
+func (s *Sim) dispatch(ev event) {
+	switch ev.kind {
+	case evCall:
+		ev.fn()
+	case evResume:
+		s.switchTo(ev.th)
+	case evUnpark:
+		t := ev.th
+		if t.done {
+			return
+		}
+		if !t.parked {
+			panic(fmt.Sprintf("engine: Unpark of runnable thread %q", t.name))
+		}
+		s.switchTo(t)
+	}
 }
 
 // errUnwind is panicked inside parked threads when the simulation tears down
@@ -179,7 +225,7 @@ func (s *Sim) Spawn(name string, fn func(t *Thread)) *Thread {
 		delete(s.live, t)
 		s.yield <- struct{}{}
 	}()
-	s.schedule(s.now, func() { s.switchTo(t) })
+	s.scheduleThread(s.now, t, evResume)
 	return t
 }
 
@@ -223,7 +269,7 @@ func (t *Thread) park() {
 // suspended and resumes once the simulation clock has moved n cycles forward.
 func (t *Thread) Delay(n Time) {
 	s := t.sim
-	s.schedule(s.now+n, func() { s.switchTo(t) })
+	s.scheduleThread(s.now+n, t, evResume)
 	t.park()
 }
 
@@ -235,16 +281,7 @@ func (t *Thread) Park() { t.park() }
 // may be called from callbacks or other threads. Unparking a thread that is
 // not parked is a model bug and panics at dispatch.
 func (t *Thread) Unpark() {
-	s := t.sim
-	s.schedule(s.now, func() {
-		if t.done {
-			return
-		}
-		if !t.parked {
-			panic(fmt.Sprintf("engine: Unpark of runnable thread %q", t.name))
-		}
-		s.switchTo(t)
-	})
+	t.sim.scheduleThread(t.sim.now, t, evUnpark)
 }
 
 // ThreadPanicError reports a panic inside a simulated thread.
@@ -305,7 +342,7 @@ func (s *Sim) Run() error {
 		dispatched++
 		ev := s.events.pop()
 		s.now = ev.at
-		ev.fn()
+		s.dispatch(ev)
 		if s.failure != nil {
 			err := s.failure
 			s.teardown()
@@ -338,11 +375,7 @@ func (s *Sim) teardown() {
 	}
 	s.dead = true
 	close(s.killed)
-	// Parked goroutines each panic(errUnwind) out of park; the ones blocked
-	// sending on s.yield cannot exist here (a thread is only mid-yield while
-	// the scheduler is inside switchTo).
-	for range s.live {
-		// Nothing further to do: goroutines exit asynchronously.
-		break
-	}
+	// Parked goroutines each panic(errUnwind) out of park and exit
+	// asynchronously; the ones blocked sending on s.yield cannot exist here
+	// (a thread is only mid-yield while the scheduler is inside switchTo).
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"svmsim"
 )
@@ -23,7 +24,11 @@ const (
 	Default
 )
 
-// Suite runs and memoizes experiments.
+// Suite runs and memoizes experiments. The memo caches are mutex-guarded and
+// deduplicate in-flight runs (singleflight), so a Suite is safe for
+// concurrent use: experiments executed through the Runner share every cell
+// they have in common — two figures built on the achievable baseline pay for
+// it once.
 type Suite struct {
 	// Procs and PPN set the baseline topology (the paper: 16 processors,
 	// 4 per node).
@@ -31,17 +36,40 @@ type Suite struct {
 	PPN   int
 	// Sizes selects problem sizes.
 	Sizes Size
+	// Parallelism bounds the Runner's worker pool. Zero or negative means
+	// GOMAXPROCS; 1 forces serial execution.
+	Parallelism int
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
 
-	cache map[string]*svmsim.Result
-	uni   map[string]uint64
+	mu     sync.Mutex
+	logMu  sync.Mutex
+	cache  map[string]*svmsim.Result
+	flight map[string]*flight
+}
+
+// flight is one in-progress (or just-finished) simulation shared by every
+// caller that asked for the same cell while it was running.
+type flight struct {
+	done chan struct{}
+	run  *svmsim.RunStats
+	err  error
 }
 
 // NewSuite creates a suite with the paper's baseline topology.
 func NewSuite(sizes Size) *Suite {
-	return &Suite{Procs: 16, PPN: 4, Sizes: sizes,
-		cache: make(map[string]*svmsim.Result), uni: make(map[string]uint64)}
+	return &Suite{Procs: 16, PPN: 4, Sizes: sizes}
+}
+
+// ensure lazily initializes the memo maps so a zero-value Suite works too.
+// Callers must hold s.mu.
+func (s *Suite) ensure() {
+	if s.cache == nil {
+		s.cache = make(map[string]*svmsim.Result)
+	}
+	if s.flight == nil {
+		s.flight = make(map[string]*flight)
+	}
 }
 
 // Base returns the achievable baseline configuration.
@@ -66,35 +94,62 @@ func cfgKey(c svmsim.Config) string {
 		c.IntrPolicy, c.Proto.AllLocal, c.Requests, c.NIsPerNode, c.NIServePages)
 }
 
-// run executes (and caches) one workload on one configuration.
+// run executes (and caches) one workload on one configuration. It is safe
+// for concurrent use: the first caller for a key simulates while later
+// callers for the same key block on the shared flight and reuse its result.
 func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, error) {
 	key := w.Name + "|" + cfgKey(cfg)
+	s.mu.Lock()
+	s.ensure()
 	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
 		return r.Run, nil
 	}
-	if s.Verbose != nil {
-		fmt.Fprintf(s.Verbose, "run %-12s %s\n", w.Name, cfgKey(cfg))
+	if f, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.run, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flight[key] = f
+	verbose := s.Verbose
+	s.mu.Unlock()
+
+	if verbose != nil {
+		s.logf(verbose, "run %-12s %s\n", w.Name, cfgKey(cfg))
 	}
 	res, err := svmsim.Run(cfg, s.app(w))
 	if err != nil {
-		return nil, fmt.Errorf("%s on %s: %w", w.Name, cfgKey(cfg), err)
+		err = fmt.Errorf("%s on %s: %w", w.Name, cfgKey(cfg), err)
 	}
-	s.cache[key] = res
-	return res.Run, nil
+
+	s.mu.Lock()
+	if err == nil {
+		s.cache[key] = res
+		f.run = res.Run
+	}
+	f.err = err
+	delete(s.flight, key) // errors are not cached; a later call may retry
+	s.mu.Unlock()
+	close(f.done)
+	return f.run, f.err
+}
+
+// logf serializes verbose progress lines from concurrent workers.
+func (s *Suite) logf(w io.Writer, format string, args ...any) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(w, format, args...)
 }
 
 // uniTime returns the memoized uniprocessor execution time for a workload.
+// It shares run's cache: the uniprocessor configuration is just another cell.
 func (s *Suite) uniTime(w svmsim.Workload) (uint64, error) {
-	if t, ok := s.uni[w.Name]; ok {
-		return t, nil
-	}
-	cfg := svmsim.Uniprocessor(s.Base())
-	res, err := svmsim.Run(cfg, s.app(w))
+	run, err := s.run(svmsim.Uniprocessor(s.Base()), w)
 	if err != nil {
 		return 0, fmt.Errorf("uniprocessor %s: %w", w.Name, err)
 	}
-	s.uni[w.Name] = res.Run.Cycles
-	return res.Run.Cycles, nil
+	return run.Cycles, nil
 }
 
 // speedup returns uniproc/parallel for a workload under cfg.

@@ -8,8 +8,14 @@ import (
 	"svmsim"
 )
 
-// sharedSuite memoizes runs across all shape tests in this package.
-var sharedSuite = NewSuite(Small)
+// sharedSuite memoizes runs across all shape tests in this package. It runs
+// with Parallelism > 1 so the package's tests (and `go test -race`) exercise
+// the concurrent Runner paths.
+var sharedSuite = func() *Suite {
+	s := NewSuite(Small)
+	s.Parallelism = 4
+	return s
+}()
 
 func TestFigure1ShapesAndRendering(t *testing.T) {
 	s := sharedSuite

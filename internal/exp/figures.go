@@ -12,6 +12,13 @@ import (
 func (s *Suite) Figure1() (*Table, error) {
 	t := &Table{ID: "Figure 1", Title: "Ideal and achievable speedups (16 procs, 4/node, achievable parameters)",
 		Cols: []string{"Ideal", "Achievable"}}
+	var cells []Cell
+	for _, w := range apps() {
+		cells = append(cells, s.uniCell(w), Cell{Cfg: s.Base(), W: w})
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range apps() {
 		uni, err := s.uniTime(w)
 		if err != nil {
@@ -40,6 +47,17 @@ func (s *Suite) Table2() (*Table, error) {
 			"barr(1)", "barr(4)", "barr(8)",
 		}}
 	ppns := []int{1, 4, 8}
+	var cells []Cell
+	for _, w := range apps() {
+		for _, ppn := range ppns {
+			cfg := s.Base()
+			cfg.ProcsPerNode = ppn
+			cells = append(cells, Cell{Cfg: cfg, W: w})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range apps() {
 		vals := make([]float64, 0, 15)
 		grids := make([]*svmsim.RunStats, len(ppns))
@@ -71,6 +89,17 @@ func (s *Suite) Table2() (*Table, error) {
 // commSweep renders a per-ppn communication metric (Figures 3 and 4).
 func (s *Suite) commSweep(id, title string, metric func(*stats.Proc) uint64, scale float64) (*Table, error) {
 	t := &Table{ID: id, Title: title, Cols: []string{"ppn=1", "ppn=4", "ppn=8"}}
+	var cells []Cell
+	for _, w := range apps() {
+		for _, ppn := range []int{1, 4, 8} {
+			cfg := s.Base()
+			cfg.ProcsPerNode = ppn
+			cells = append(cells, Cell{Cfg: cfg, W: w})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range apps() {
 		var vals []float64
 		for _, ppn := range []int{1, 4, 8} {
@@ -103,6 +132,16 @@ func (s *Suite) Figure4() (*Table, error) {
 // paramSweep runs a speedup sweep over configurations derived from the base.
 func (s *Suite) paramSweep(id, title string, labels []string, mk []func(svmsim.Config) svmsim.Config, wls []svmsim.Workload) (*Table, error) {
 	t := &Table{ID: id, Title: title, Cols: labels}
+	var cells []Cell
+	for _, w := range wls {
+		cells = append(cells, s.uniCell(w))
+		for _, f := range mk {
+			cells = append(cells, Cell{Cfg: f(s.Base()), W: w})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range wls {
 		var vals []float64
 		for _, f := range mk {

@@ -55,6 +55,17 @@ func (s *Suite) Table3() (*Table, error) {
 				return c
 			}},
 	}
+	var cells []Cell
+	for _, w := range apps() {
+		for _, pm := range params {
+			cells = append(cells,
+				Cell{Cfg: pm.best(s.Base()), W: w},
+				Cell{Cfg: pm.wrst(s.Base()), W: w})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range apps() {
 		var vals []float64
 		for _, pm := range params {
@@ -80,6 +91,14 @@ func (s *Suite) Table4() (*Table, error) {
 	best := svmsim.Best()
 	best.Procs = s.Procs
 	best.ProcsPerNode = s.PPN
+	var cells []Cell
+	for _, w := range apps() {
+		cells = append(cells, s.uniCell(w),
+			Cell{Cfg: best, W: w}, Cell{Cfg: s.Base(), W: w})
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range apps() {
 		uni, err := s.uniTime(w)
 		if err != nil {
@@ -107,6 +126,16 @@ func (s *Suite) correlate(id, title, predictorName string,
 	low, high func(svmsim.Config) svmsim.Config,
 	predictor func(run *svmsim.RunStats) float64) (*Table, error) {
 	t := &Table{ID: id, Title: title, Cols: []string{"NormSlowdown", "Norm" + predictorName}}
+	var cells []Cell
+	for _, w := range apps() {
+		cells = append(cells,
+			Cell{Cfg: low(s.Base()), W: w},
+			Cell{Cfg: high(s.Base()), W: w},
+			Cell{Cfg: s.Base(), W: w})
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	var slows, preds []float64
 	for _, w := range apps() {
 		a, err := s.run(low(s.Base()), w)
@@ -200,23 +229,37 @@ func (s *Suite) InterruptVariants() (*Table, error) {
 		Cols: []string{"uni:0", "uni:1k", "uni:10k", "rr:0", "rr:1k", "rr:10k"}}
 	subset := pick("FFT", "Barnes-reb", "Water-nsq")
 	points := []uint64{0, 1000, 10000}
+	variants := make([]func(svmsim.Config) svmsim.Config, 0, 2*len(points))
+	for _, v := range points {
+		v := v
+		variants = append(variants, func(c svmsim.Config) svmsim.Config {
+			c.ProcsPerNode = 1
+			c.IntrHalfCost = v
+			return c
+		})
+	}
+	for _, v := range points {
+		v := v
+		variants = append(variants, func(c svmsim.Config) svmsim.Config {
+			c.IntrPolicy = svmsim.IntrRoundRobin
+			c.IntrHalfCost = v
+			return c
+		})
+	}
+	var cells []Cell
+	for _, w := range subset {
+		cells = append(cells, s.uniCell(w))
+		for _, mod := range variants {
+			cells = append(cells, Cell{Cfg: mod(s.Base()), W: w})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range subset {
 		var vals []float64
-		for _, v := range points {
-			cfg := s.Base()
-			cfg.ProcsPerNode = 1
-			cfg.IntrHalfCost = v
-			sp, err := s.speedup(cfg, w)
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, sp)
-		}
-		for _, v := range points {
-			cfg := s.Base()
-			cfg.IntrPolicy = svmsim.IntrRoundRobin
-			cfg.IntrHalfCost = v
-			sp, err := s.speedup(cfg, w)
+		for _, mod := range variants {
+			sp, err := s.speedup(mod(s.Base()), w)
 			if err != nil {
 				return nil, err
 			}
@@ -233,6 +276,16 @@ func (s *Suite) InterruptVariants() (*Table, error) {
 func (s *Suite) AllLocalAblation() (*Table, error) {
 	t := &Table{ID: "Ablation", Title: "Speedup with remote page fetches artificially disabled (Section 7 analysis)",
 		Cols: []string{"Normal", "AllLocal"}}
+	allLocal := s.Base()
+	allLocal.Proto.AllLocal = true
+	var cells []Cell
+	for _, w := range apps() {
+		cells = append(cells, s.uniCell(w),
+			Cell{Cfg: s.Base(), W: w}, Cell{Cfg: allLocal, W: w})
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range apps() {
 		spN, err := s.speedup(s.Base(), w)
 		if err != nil {
@@ -311,6 +364,16 @@ func (s *Suite) Extensions() (*Table, error) {
 		},
 		func(c svmsim.Config) svmsim.Config { c.NIsPerNode = 2; return c },
 	}
+	var cells []Cell
+	for _, w := range apps() {
+		cells = append(cells, s.uniCell(w))
+		for _, mod := range mods {
+			cells = append(cells, Cell{Cfg: mod(s.Base()), W: w})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	for _, w := range apps() {
 		var vals []float64
 		for _, mod := range mods {
@@ -333,25 +396,42 @@ func (s *Suite) Microbench() (*Table, error) {
 	t := &Table{ID: "Microbench",
 		Title: "Synthetic sharing patterns: Mcycles and messages under HLRC vs AURC",
 		Cols:  []string{"HLRC Mcyc", "AURC Mcyc", "HLRC msgs", "AURC msgs", "HLRC diffs", "AURC upd"}}
+	// Wrap each synthetic pattern as a workload so the runs flow through the
+	// suite's memoized, parallel cell machinery like the real applications.
+	synthWorkload := func(pat synth.Pattern) svmsim.Workload {
+		mk := func() svmsim.App { return synth.New(synth.Default(pat)) }
+		return svmsim.Workload{Name: "synth:" + pat.String(), Small: mk, Default: mk}
+	}
+	modes := []proto.Mode{proto.HLRC, proto.AURC}
+	var cells []Cell
 	for _, pat := range synth.Patterns() {
-		app := synth.New(synth.Default(pat))
+		for _, mode := range modes {
+			cfg := s.Base()
+			cfg.Proto.Mode = mode
+			cells = append(cells, Cell{Cfg: cfg, W: synthWorkload(pat)})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
+	for _, pat := range synth.Patterns() {
 		var vals []float64
 		var cyc [2]float64
 		var msgs [2]float64
 		var extra [2]float64
-		for i, mode := range []proto.Mode{proto.HLRC, proto.AURC} {
+		for i, mode := range modes {
 			cfg := s.Base()
 			cfg.Proto.Mode = mode
-			res, err := svmsim.Run(cfg, app)
+			run, err := s.run(cfg, synthWorkload(pat))
 			if err != nil {
 				return nil, fmt.Errorf("microbench %s/%s: %w", pat, mode, err)
 			}
-			cyc[i] = float64(res.Run.Cycles) / 1e6
-			msgs[i] = float64(res.Run.Sum(func(p *stats.Proc) uint64 { return p.MsgsSent }))
+			cyc[i] = float64(run.Cycles) / 1e6
+			msgs[i] = float64(run.Sum(func(p *stats.Proc) uint64 { return p.MsgsSent }))
 			if mode == proto.HLRC {
-				extra[i] = float64(res.Run.Sum(func(p *stats.Proc) uint64 { return p.DiffsCreated }))
+				extra[i] = float64(run.Sum(func(p *stats.Proc) uint64 { return p.DiffsCreated }))
 			} else {
-				extra[i] = float64(res.Run.Sum(func(p *stats.Proc) uint64 { return p.UpdatesSent }))
+				extra[i] = float64(run.Sum(func(p *stats.Proc) uint64 { return p.UpdatesSent }))
 			}
 		}
 		vals = append(vals, cyc[0], cyc[1], msgs[0], msgs[1], extra[0], extra[1])
@@ -370,6 +450,13 @@ func (s *Suite) Breakdown() (*Table, error) {
 	kinds := []stats.TimeKind{
 		stats.Compute, stats.LocalStall, stats.DataWait, stats.LockWait,
 		stats.BarrierWait, stats.HandlerSteal, stats.SendOverhead, stats.DiffTime,
+	}
+	var cells []Cell
+	for _, w := range apps() {
+		cells = append(cells, Cell{Cfg: s.Base(), W: w})
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
 	}
 	for _, w := range apps() {
 		run, err := s.run(s.Base(), w)
