@@ -1,15 +1,25 @@
-# Development checks for svmsim. `make check` is the CI gate: vet, build,
-# the full test suite, and the race detector over the packages with real
-# concurrency (the parallel experiment Runner and the engine).
+# Development checks for svmsim. `make check` is the CI gate: vet, the
+# domain-specific svmlint analyzers (determinism / unit-suffix / hot-path
+# allocation invariants, see internal/lint), build, the full test suite, and
+# the race detector over the packages with real concurrency (the parallel
+# experiment Runner and the engine).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-engine experiments
+.PHONY: check vet lint build test race bench bench-engine experiments
 
-check: vet build test race
+check: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# svmlint gates the simulator's non-negotiable invariants; `gofmt -l` rides
+# along so formatting drift fails the same target. Run
+# `go run ./cmd/svmlint -analyzers` for the catalogue.
+lint:
+	$(GO) run ./cmd/svmlint ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

@@ -16,9 +16,9 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"svmsim/internal/exp"
+	"svmsim/internal/walltime"
 )
 
 func main() {
@@ -68,14 +68,14 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		start := time.Now()
+		sw := walltime.Start()
 		tbl, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			failed++
 			continue
 		}
-		fmt.Fprintf(w, "%s\n(elapsed %.1fs)\n\n", tbl.String(), time.Since(start).Seconds())
+		fmt.Fprintf(w, "%s\n(elapsed %.1fs)\n\n", tbl.String(), sw.Seconds())
 	}
 	if failed > 0 {
 		os.Exit(1)

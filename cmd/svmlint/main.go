@@ -1,0 +1,24 @@
+// Command svmlint runs the simulator's domain-specific static analyzers
+// (determinism, unit-suffix and hot-path-allocation invariants) over the
+// repository. See internal/lint for the analyzer catalogue and DESIGN.md for
+// the invariants each one encodes.
+//
+// Usage:
+//
+//	svmlint ./...                     # everything, text output
+//	svmlint -json ./internal/proto    # one package, machine-readable
+//	svmlint -disable units ./...      # skip an analyzer
+//	svmlint -analyzers                # list analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"os"
+
+	"svmsim/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

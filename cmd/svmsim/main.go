@@ -72,10 +72,10 @@ func main() {
 	}
 	cfg.Procs = *procs
 	cfg.ProcsPerNode = *ppn
-	cfg.Net.HostOverhead = *overhead
-	cfg.Net.NIOccupancy = *occupancy
+	cfg.Net.HostOverheadCycles = *overhead
+	cfg.Net.NIOccupancyCycles = *occupancy
 	cfg.Net.IOBytesPerCycle = *iobw
-	cfg.IntrHalfCost = *intr
+	cfg.IntrHalfCostCycles = *intr
 	cfg.Proto.PageBytes = *page
 	if strings.EqualFold(*mode, "aurc") {
 		cfg.Proto.Mode = svmsim.AURC

@@ -27,21 +27,21 @@ func main() {
 	}{
 		{"fast interrupts (achievable, 2x500)", func(c svmsim.Config) svmsim.Config { return c }},
 		{"commercial interrupts (2x10000)", func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = 10000
+			c.IntrHalfCostCycles = 10000
 			return c
 		}},
 		{"  + polling", func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = 10000
+			c.IntrHalfCostCycles = 10000
 			c.Requests = svmsim.RequestPolling
 			return c
 		}},
 		{"  + dedicated protocol processor", func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = 10000
+			c.IntrHalfCostCycles = 10000
 			c.Requests = svmsim.RequestDedicated
 			return c
 		}},
 		{"  + NI-served page fetches", func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = 10000
+			c.IntrHalfCostCycles = 10000
 			c.NIServePages = true
 			return c
 		}},

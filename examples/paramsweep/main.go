@@ -32,7 +32,7 @@ func main() {
 		fmt.Printf("%s:\n  interrupt cost (cycles/half):", a.name)
 		for _, c := range []uint64{0, 500, 2000, 10000} {
 			cfg := base
-			cfg.IntrHalfCost = c
+			cfg.IntrHalfCostCycles = c
 			res, err := svmsim.Run(cfg, a.mk())
 			if err != nil {
 				log.Fatal(err)

@@ -31,7 +31,7 @@ func main() {
 
 	// Interrupts are the paper's headline bottleneck: make them expensive
 	// and watch the speedup collapse.
-	cfg.IntrHalfCost = 10000
+	cfg.IntrHalfCostCycles = 10000
 	slow, err := svmsim.Run(cfg, app)
 	if err != nil {
 		log.Fatal(err)

@@ -12,14 +12,14 @@ func TestHuntConfig(t *testing.T) {
 		f    func(*machine.Config)
 	}{
 		{"base", func(c *machine.Config) {}},
-		{"ho0", func(c *machine.Config) { c.Net.HostOverhead = 0 }},
-		{"ho5000", func(c *machine.Config) { c.Net.HostOverhead = 5000 }},
-		{"occ0", func(c *machine.Config) { c.Net.NIOccupancy = 0 }},
-		{"occ2000", func(c *machine.Config) { c.Net.NIOccupancy = 2000 }},
+		{"ho0", func(c *machine.Config) { c.Net.HostOverheadCycles = 0 }},
+		{"ho5000", func(c *machine.Config) { c.Net.HostOverheadCycles = 5000 }},
+		{"occ0", func(c *machine.Config) { c.Net.NIOccupancyCycles = 0 }},
+		{"occ2000", func(c *machine.Config) { c.Net.NIOccupancyCycles = 2000 }},
 		{"io0.2", func(c *machine.Config) { c.Net.IOBytesPerCycle = 0.2 }},
 		{"io2.0", func(c *machine.Config) { c.Net.IOBytesPerCycle = 2.0 }},
-		{"intr0", func(c *machine.Config) { c.IntrHalfCost = 0 }},
-		{"intr10000", func(c *machine.Config) { c.IntrHalfCost = 10000 }},
+		{"intr0", func(c *machine.Config) { c.IntrHalfCostCycles = 0 }},
+		{"intr10000", func(c *machine.Config) { c.IntrHalfCostCycles = 10000 }},
 		{"pg1k", func(c *machine.Config) { c.Proto.PageBytes = 1 << 10 }},
 		{"pg16k", func(c *machine.Config) { c.Proto.PageBytes = 16 << 10 }},
 		{"ppn1", func(c *machine.Config) { c.ProcsPerNode = 1 }},

@@ -15,7 +15,7 @@ func TestWatchStaleCell(t *testing.T) {
 	proto.WatchLog = func(format string, args ...any) { t.Logf(format, args...) }
 	defer func() { proto.WatchLog = nil }()
 	cfg := machine.Achievable()
-	cfg.Net.HostOverhead = 0
+	cfg.Net.HostOverheadCycles = 0
 	_, err := machine.Run(cfg, New(SmallRebuild()))
 	t.Logf("run err: %v", err)
 }

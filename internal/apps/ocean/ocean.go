@@ -44,12 +44,12 @@ func Default() Params {
 
 // level is one grid of the hierarchy.
 type level struct {
-	n    int // interior dimension
-	dim  int // n + 2
-	h2   float64
-	u    appkit.Vec // solution / correction
-	rhs  appkit.Vec
-	res  appkit.Vec // residual scratch
+	n   int // interior dimension
+	dim int // n + 2
+	h2  float64
+	u   appkit.Vec // solution / correction
+	rhs appkit.Vec
+	res appkit.Vec // residual scratch
 }
 
 type state struct {

@@ -21,6 +21,8 @@ import (
 type Time = uint64
 
 // Forever is a sentinel "infinitely far in the future" time.
+//
+//svmlint:ignore units Forever is a sentinel, not a quantity in any unit
 const Forever Time = ^Time(0)
 
 // evKind discriminates what an event does at dispatch. Thread events carry a
@@ -304,22 +306,22 @@ func stackTrace() []byte {
 // DeadlockError reports that the event queue drained while threads were
 // still parked.
 type DeadlockError struct {
-	Now     Time
-	Threads []string
+	NowCycles Time
+	Threads   []string
 }
 
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("engine: deadlock at cycle %d; parked threads: %v", e.Now, e.Threads)
+	return fmt.Sprintf("engine: deadlock at cycle %d; parked threads: %v", e.NowCycles, e.Threads)
 }
 
 // LivelockError reports that the event budget was exhausted.
 type LivelockError struct {
-	Now    Time
-	Events uint64
+	NowCycles Time
+	Events    uint64
 }
 
 func (e *LivelockError) Error() string {
-	return fmt.Sprintf("engine: event budget of %d exhausted at cycle %d (livelock?)", e.Events, e.Now)
+	return fmt.Sprintf("engine: event budget of %d exhausted at cycle %d (livelock?)", e.Events, e.NowCycles)
 }
 
 // Run dispatches events until the queue drains. It returns nil when all
@@ -337,7 +339,7 @@ func (s *Sim) Run() error {
 	for len(s.events) > 0 {
 		if dispatched >= limit {
 			s.teardown()
-			return &LivelockError{Now: s.now, Events: dispatched}
+			return &LivelockError{NowCycles: s.now, Events: dispatched}
 		}
 		dispatched++
 		ev := s.events.pop()
@@ -355,7 +357,7 @@ func (s *Sim) Run() error {
 			names = append(names, t.name)
 		}
 		sort.Strings(names)
-		err := &DeadlockError{Now: s.now, Threads: names}
+		err := &DeadlockError{NowCycles: s.now, Threads: names}
 		if os.Getenv("SVMSIM_DEADLOCK_STACKS") != "" {
 			buf := make([]byte, 1<<20)
 			n := runtime.Stack(buf, true)

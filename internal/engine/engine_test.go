@@ -177,8 +177,8 @@ func TestResourceSerializes(t *testing.T) {
 			t.Fatalf("ends %v want %v", ends, want)
 		}
 	}
-	if r.BusyTime != 300 {
-		t.Fatalf("BusyTime = %d, want 300", r.BusyTime)
+	if r.BusyCycles != 300 {
+		t.Fatalf("BusyCycles = %d, want 300", r.BusyCycles)
 	}
 }
 
@@ -325,7 +325,7 @@ func TestResourcePropertyNoOverlap(t *testing.T) {
 		if err := s.Run(); err != nil {
 			return false
 		}
-		return ok && r.BusyTime == total
+		return ok && r.BusyCycles == total
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -426,8 +426,8 @@ func TestResourceUtilizationAccounting(t *testing.T) {
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if r.BusyTime != 100 {
-		t.Fatalf("BusyTime=%d want 100", r.BusyTime)
+	if r.BusyCycles != 100 {
+		t.Fatalf("BusyCycles=%d want 100", r.BusyCycles)
 	}
 	if s.Now() != 160 {
 		t.Fatalf("end=%d want 160", s.Now())

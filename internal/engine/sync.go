@@ -58,8 +58,8 @@ type Resource struct {
 	seq      uint64
 	queue    []resWaiter
 	busyFrom Time
-	// BusyTime accumulates total cycles the resource was held.
-	BusyTime Time
+	// BusyCycles accumulates total cycles the resource was held.
+	BusyCycles Time
 }
 
 // NewResource creates a free resource named name.
@@ -96,7 +96,7 @@ func (r *Resource) Release() {
 	if !r.busy {
 		panic(fmt.Sprintf("engine: Release of free resource %q", r.name))
 	}
-	r.BusyTime += r.sim.Now() - r.busyFrom
+	r.BusyCycles += r.sim.Now() - r.busyFrom
 	if len(r.queue) == 0 {
 		r.busy = false
 		return

@@ -89,8 +89,8 @@ func (s *Suite) app(w svmsim.Workload) svmsim.App {
 
 func cfgKey(c svmsim.Config) string {
 	return fmt.Sprintf("p%d/n%d/ho%d/occ%d/io%g/intr%d/pg%d/mode%d/pol%d/all%v/req%d/nis%d/nisrv%v",
-		c.Procs, c.ProcsPerNode, c.Net.HostOverhead, c.Net.NIOccupancy,
-		c.Net.IOBytesPerCycle, c.IntrHalfCost, c.Proto.PageBytes, c.Proto.Mode,
+		c.Procs, c.ProcsPerNode, c.Net.HostOverheadCycles, c.Net.NIOccupancyCycles,
+		c.Net.IOBytesPerCycle, c.IntrHalfCostCycles, c.Proto.PageBytes, c.Proto.Mode,
 		c.IntrPolicy, c.Proto.AllLocal, c.Requests, c.NIsPerNode, c.NIServePages)
 }
 

@@ -104,7 +104,7 @@ func TestPaperHeadlines(t *testing.T) {
 	badIntr := 0
 	for _, w := range apps() {
 		base := speed(id, w)
-		expensive := speed(func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = 10000; return c }, w)
+		expensive := speed(func(c svmsim.Config) svmsim.Config { c.IntrHalfCostCycles = 10000; return c }, w)
 		if expensive >= base {
 			badIntr++
 			t.Logf("%s: interrupt cost 10k/half did not hurt (%.2f -> %.2f)", w.Name, base, expensive)
@@ -118,12 +118,12 @@ func TestPaperHeadlines(t *testing.T) {
 	// free differs by < 15% for at least 8 of 10 applications.
 	okOvh, okOcc := 0, 0
 	for _, w := range apps() {
-		free := speed(func(c svmsim.Config) svmsim.Config { c.Net.HostOverhead = 0; return c }, w)
+		free := speed(func(c svmsim.Config) svmsim.Config { c.Net.HostOverheadCycles = 0; return c }, w)
 		ach := speed(id, w)
 		if ach >= 0.85*free {
 			okOvh++
 		}
-		freeOcc := speed(func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancy = 0; return c }, w)
+		freeOcc := speed(func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancyCycles = 0; return c }, w)
 		if ach >= 0.85*freeOcc {
 			okOcc++
 		}

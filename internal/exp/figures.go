@@ -163,7 +163,7 @@ func (s *Suite) Figure5() (*Table, error) {
 	for i, v := range HostOverheadPoints {
 		v := v
 		labels[i] = cyclesLabel(v)
-		mk[i] = func(c svmsim.Config) svmsim.Config { c.Net.HostOverhead = v; return c }
+		mk[i] = func(c svmsim.Config) svmsim.Config { c.Net.HostOverheadCycles = v; return c }
 	}
 	return s.paramSweep("Figure 5", "Speedup vs host overhead (cycles/message)", labels, mk, apps())
 }
@@ -175,7 +175,7 @@ func (s *Suite) Figure7() (*Table, error) {
 	for i, v := range OccupancyPoints {
 		v := v
 		labels[i] = cyclesLabel(v)
-		mk[i] = func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancy = v; return c }
+		mk[i] = func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancyCycles = v; return c }
 	}
 	return s.paramSweep("Figure 7", "Speedup vs NI occupancy (cycles/packet), HLRC", labels, mk, apps())
 }
@@ -198,7 +198,7 @@ func (s *Suite) Figure10() (*Table, error) {
 	for i, v := range InterruptPoints {
 		v := v
 		labels[i] = cyclesLabel(v)
-		mk[i] = func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = v; return c }
+		mk[i] = func(c svmsim.Config) svmsim.Config { c.IntrHalfCostCycles = v; return c }
 	}
 	return s.paramSweep("Figure 10", "Speedup vs interrupt cost (cycles per half)", labels, mk, apps())
 }
@@ -212,7 +212,7 @@ func (s *Suite) Figure12() (*Table, error) {
 		v := v
 		labels[i] = cyclesLabel(v)
 		mk[i] = func(c svmsim.Config) svmsim.Config {
-			c.Net.NIOccupancy = v
+			c.Net.NIOccupancyCycles = v
 			c.Proto.Mode = svmsim.AURC
 			return c
 		}
@@ -300,13 +300,13 @@ func (s *Suite) SweepParam(param string, wls []svmsim.Workload, aurc bool) (*Tab
 		for _, v := range HostOverheadPoints {
 			v := v
 			labels = append(labels, cyclesLabel(v))
-			mk = append(mk, withMode(func(c svmsim.Config) svmsim.Config { c.Net.HostOverhead = v; return c }))
+			mk = append(mk, withMode(func(c svmsim.Config) svmsim.Config { c.Net.HostOverheadCycles = v; return c }))
 		}
 	case "occupancy":
 		for _, v := range OccupancyPoints {
 			v := v
 			labels = append(labels, cyclesLabel(v))
-			mk = append(mk, withMode(func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancy = v; return c }))
+			mk = append(mk, withMode(func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancyCycles = v; return c }))
 		}
 	case "iobw":
 		for _, v := range IOBandwidthPoints {
@@ -318,7 +318,7 @@ func (s *Suite) SweepParam(param string, wls []svmsim.Workload, aurc bool) (*Tab
 		for _, v := range InterruptPoints {
 			v := v
 			labels = append(labels, cyclesLabel(v))
-			mk = append(mk, withMode(func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = v; return c }))
+			mk = append(mk, withMode(func(c svmsim.Config) svmsim.Config { c.IntrHalfCostCycles = v; return c }))
 		}
 	case "pagesize":
 		for _, v := range PageSizePoints {

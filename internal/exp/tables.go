@@ -22,14 +22,14 @@ func (s *Suite) Table3() (*Table, error) {
 		wrst func(svmsim.Config) svmsim.Config
 	}
 	params := []extreme{
-		{func(c svmsim.Config) svmsim.Config { c.Net.HostOverhead = HostOverheadPoints[0]; return c },
+		{func(c svmsim.Config) svmsim.Config { c.Net.HostOverheadCycles = HostOverheadPoints[0]; return c },
 			func(c svmsim.Config) svmsim.Config {
-				c.Net.HostOverhead = HostOverheadPoints[len(HostOverheadPoints)-1]
+				c.Net.HostOverheadCycles = HostOverheadPoints[len(HostOverheadPoints)-1]
 				return c
 			}},
-		{func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancy = OccupancyPoints[0]; return c },
+		{func(c svmsim.Config) svmsim.Config { c.Net.NIOccupancyCycles = OccupancyPoints[0]; return c },
 			func(c svmsim.Config) svmsim.Config {
-				c.Net.NIOccupancy = OccupancyPoints[len(OccupancyPoints)-1]
+				c.Net.NIOccupancyCycles = OccupancyPoints[len(OccupancyPoints)-1]
 				return c
 			}},
 		// Bandwidth: the "small value" is the HIGH bandwidth (best), the
@@ -39,9 +39,9 @@ func (s *Suite) Table3() (*Table, error) {
 			return c
 		},
 			func(c svmsim.Config) svmsim.Config { c.Net.IOBytesPerCycle = IOBandwidthPoints[0]; return c }},
-		{func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = InterruptPoints[0]; return c },
+		{func(c svmsim.Config) svmsim.Config { c.IntrHalfCostCycles = InterruptPoints[0]; return c },
 			func(c svmsim.Config) svmsim.Config {
-				c.IntrHalfCost = InterruptPoints[len(InterruptPoints)-1]
+				c.IntrHalfCostCycles = InterruptPoints[len(InterruptPoints)-1]
 				return c
 			}},
 		{func(c svmsim.Config) svmsim.Config { c.Proto.PageBytes = PageSizePoints[0]; return c },
@@ -162,9 +162,11 @@ func (s *Suite) correlate(id, title, predictorName string,
 			maxP = preds[i]
 		}
 	}
+	//svmlint:ignore floatcmp exact-zero sentinel (maxS never assigned) guarding the division below
 	if maxS == 0 {
 		maxS = 1
 	}
+	//svmlint:ignore floatcmp exact-zero sentinel (maxP never assigned) guarding the division below
 	if maxP == 0 {
 		maxP = 1
 	}
@@ -179,9 +181,9 @@ func (s *Suite) Figure6() (*Table, error) {
 	return s.correlate("Figure 6",
 		"Host-overhead slowdown vs messages sent (both normalized to their maxima)",
 		"Msgs",
-		func(c svmsim.Config) svmsim.Config { c.Net.HostOverhead = HostOverheadPoints[0]; return c },
+		func(c svmsim.Config) svmsim.Config { c.Net.HostOverheadCycles = HostOverheadPoints[0]; return c },
 		func(c svmsim.Config) svmsim.Config {
-			c.Net.HostOverhead = HostOverheadPoints[len(HostOverheadPoints)-1]
+			c.Net.HostOverheadCycles = HostOverheadPoints[len(HostOverheadPoints)-1]
 			return c
 		},
 		func(run *svmsim.RunStats) float64 {
@@ -210,9 +212,9 @@ func (s *Suite) Figure11() (*Table, error) {
 	return s.correlate("Figure 11",
 		"Interrupt-cost slowdown vs page fetches + remote lock acquires (normalized)",
 		"Fetch+RLock",
-		func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = InterruptPoints[0]; return c },
+		func(c svmsim.Config) svmsim.Config { c.IntrHalfCostCycles = InterruptPoints[0]; return c },
 		func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = InterruptPoints[len(InterruptPoints)-1]
+			c.IntrHalfCostCycles = InterruptPoints[len(InterruptPoints)-1]
 			return c
 		},
 		func(run *svmsim.RunStats) float64 {
@@ -234,7 +236,7 @@ func (s *Suite) InterruptVariants() (*Table, error) {
 		v := v
 		variants = append(variants, func(c svmsim.Config) svmsim.Config {
 			c.ProcsPerNode = 1
-			c.IntrHalfCost = v
+			c.IntrHalfCostCycles = v
 			return c
 		})
 	}
@@ -242,7 +244,7 @@ func (s *Suite) InterruptVariants() (*Table, error) {
 		v := v
 		variants = append(variants, func(c svmsim.Config) svmsim.Config {
 			c.IntrPolicy = svmsim.IntrRoundRobin
-			c.IntrHalfCost = v
+			c.IntrHalfCostCycles = v
 			return c
 		})
 	}
@@ -346,19 +348,19 @@ func (s *Suite) Extensions() (*Table, error) {
 		Cols:  []string{"Intr500", "Intr10k", "Poll@10k", "Dedic@10k", "NIserve@10k", "2xNI"}}
 	mods := []func(svmsim.Config) svmsim.Config{
 		func(c svmsim.Config) svmsim.Config { return c },
-		func(c svmsim.Config) svmsim.Config { c.IntrHalfCost = 10000; return c },
+		func(c svmsim.Config) svmsim.Config { c.IntrHalfCostCycles = 10000; return c },
 		func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = 10000
+			c.IntrHalfCostCycles = 10000
 			c.Requests = svmsim.RequestPolling
 			return c
 		},
 		func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = 10000
+			c.IntrHalfCostCycles = 10000
 			c.Requests = svmsim.RequestDedicated
 			return c
 		},
 		func(c svmsim.Config) svmsim.Config {
-			c.IntrHalfCost = 10000
+			c.IntrHalfCostCycles = 10000
 			c.NIServePages = true
 			return c
 		},

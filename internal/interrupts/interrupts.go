@@ -30,10 +30,10 @@ const (
 type Controller struct {
 	n *node.Node
 
-	// IssueCost and DeliverCost are the two halves of the interrupt cost
+	// IssueCycles and DeliverCycles are the two halves of the interrupt cost
 	// parameter; the paper's "total interrupt cost" is their sum.
-	IssueCost   engine.Time
-	DeliverCost engine.Time
+	IssueCycles   engine.Time
+	DeliverCycles engine.Time
 
 	policy Policy
 	rr     int
@@ -49,7 +49,7 @@ type Controller struct {
 
 // New creates a controller for n with the given per-half cost.
 func New(n *node.Node, issue, deliver engine.Time, policy Policy) *Controller {
-	return &Controller{n: n, IssueCost: issue, DeliverCost: deliver, policy: policy, Poll: DefaultPollParams()}
+	return &Controller{n: n, IssueCycles: issue, DeliverCycles: deliver, policy: policy, Poll: DefaultPollParams()}
 }
 
 func (c *Controller) pick() *node.Processor {
@@ -79,17 +79,18 @@ func (c *Controller) Raise(name string, handler func(t *engine.Thread, victim *n
 		return
 	}
 	victim := c.pick()
+	//svmlint:ignore hotalloc handler threads are spawned per protocol request; thread creation dominates the closure cost
 	c.n.Sim.Spawn(fmt.Sprintf("intr-%s@n%d", name, c.n.ID), func(t *engine.Thread) {
 		// Issue half: signal propagation; does not occupy the victim CPU.
-		if c.IssueCost > 0 {
-			t.Delay(c.IssueCost)
+		if c.IssueCycles > 0 {
+			t.Delay(c.IssueCycles)
 		}
 		// Serialize handlers on the victim CPU.
 		victim.HandlerRes.Acquire(t, 0)
 		victim.HandlerEnter()
 		start := c.n.Sim.Now()
-		if c.DeliverCost > 0 {
-			t.Delay(c.DeliverCost)
+		if c.DeliverCycles > 0 {
+			t.Delay(c.DeliverCycles)
 		}
 		handler(t, victim)
 		victim.Stats.Interrupts++

@@ -10,7 +10,7 @@ import (
 
 func mkNode(s *engine.Sim, nprocs int) *node.Node {
 	prm := node.DefaultParams()
-	prm.SyncQuantum = 100
+	prm.SyncQuantumCycles = 100
 	return node.New(s, 0, nprocs, 1<<16, prm, 0)
 }
 

@@ -41,8 +41,8 @@ func (h Handling) String() string {
 
 // PollParams configure the Polling and Dedicated modes.
 type PollParams struct {
-	// Interval is the polling period in cycles (Polling mode).
-	Interval engine.Time
+	// IntervalCycles is the polling period in cycles (Polling mode).
+	IntervalCycles engine.Time
 	// DispatchCycles is the cost to pick a request up at a poll boundary
 	// (Polling) or to hand it to the dedicated processor (Dedicated).
 	DispatchCycles engine.Time
@@ -56,7 +56,7 @@ type PollParams struct {
 // interval with a 100-cycle dispatch and a 20-cycle check, matching an
 // instrumented-application polling scheme.
 func DefaultPollParams() PollParams {
-	return PollParams{Interval: 1000, DispatchCycles: 100, CheckCycles: 20}
+	return PollParams{IntervalCycles: 1000, DispatchCycles: 100, CheckCycles: 20}
 }
 
 // raisePolling schedules handler at the node's next poll boundary on the
@@ -64,11 +64,12 @@ func DefaultPollParams() PollParams {
 func (c *Controller) raisePolling(name string, handler func(t *engine.Thread, victim *node.Processor)) {
 	victim := c.n.Procs[0]
 	now := c.n.Sim.Now()
-	interval := c.Poll.Interval
+	interval := c.Poll.IntervalCycles
 	if interval == 0 {
 		interval = 1
 	}
 	boundary := (now/interval + 1) * interval
+	//svmlint:ignore hotalloc handler threads are spawned per protocol request; thread creation dominates the closure cost
 	c.n.Sim.Spawn(fmt.Sprintf("poll-%s@n%d", name, c.n.ID), func(t *engine.Thread) {
 		t.Delay(boundary - now)
 		victim.HandlerRes.Acquire(t, 0)
@@ -90,6 +91,7 @@ func (c *Controller) raisePolling(name string, handler func(t *engine.Thread, vi
 // computation.
 func (c *Controller) raiseDedicated(name string, handler func(t *engine.Thread, victim *node.Processor)) {
 	victim := c.n.Procs[len(c.n.Procs)-1]
+	//svmlint:ignore hotalloc handler threads are spawned per protocol request; thread creation dominates the closure cost
 	c.n.Sim.Spawn(fmt.Sprintf("proto-%s@n%d", name, c.n.ID), func(t *engine.Thread) {
 		if c.Poll.DispatchCycles > 0 {
 			t.Delay(c.Poll.DispatchCycles)

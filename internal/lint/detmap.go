@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detmap flags `for ... range m` over Go maps in simulation packages. Map
+// iteration order is randomized per run, so any side effect that depends on
+// the order (appending to a slice that is later consumed in order, scheduling
+// events, picking "the first" element) destroys the simulator's
+// bit-determinism. Two shapes are recognized as safe and allowed without a
+// suppression:
+//
+//   - aggregate-only bodies: every statement is a commutative accumulation
+//     (+=, -=, |=, &=, ^=, ++, --) or a delete(...) call, possibly behind an
+//     if; the result is independent of visit order
+//   - collect-then-sort: the body only appends keys/values to slices, and the
+//     enclosing function later passes one of those slices to sort.* or
+//     slices.Sort*, restoring a canonical order before use
+//
+// Anything else needs a //svmlint:ignore detmap <reason>.
+
+// detmapPackages names the simulation packages whose map iterations must be
+// provably order-insensitive. Harness-side code (cmd/, exp table rendering
+// helpers excluded here by name) may iterate freely.
+var detmapPackages = map[string]bool{
+	"engine":     true,
+	"proto":      true,
+	"node":       true,
+	"shm":        true,
+	"network":    true,
+	"memsys":     true,
+	"interrupts": true,
+	"machine":    true,
+	"stats":      true,
+	"exp":        true,
+}
+
+func detmapRun(pkg *Package, report reportFunc) {
+	if !detmapPackages[pkg.Name] {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				detmapWalk(pkg, fn.Body, fn.Body, report)
+			}
+		}
+	}
+}
+
+// detmapWalk inspects n for map-range statements, using fnBody (the innermost
+// enclosing function body) as the scope in which a later sort call can
+// legitimize a collect loop.
+func detmapWalk(pkg *Package, n ast.Node, fnBody *ast.BlockStmt, report reportFunc) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			detmapWalk(pkg, x.Body, x.Body, report)
+			return false
+		case *ast.RangeStmt:
+			t := pkg.typeOf(x.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !detmapAllowed(pkg, x, fnBody) {
+				report(x.For, "iteration over map %s has order-dependent effects; collect keys into a slice and sort, or justify with //svmlint:ignore detmap <reason>", types.ExprString(x.X))
+			}
+		}
+		return true
+	})
+}
+
+// detmapAllowed reports whether the map-range statement is provably
+// order-insensitive under the two recognized idioms.
+func detmapAllowed(pkg *Package, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	targets := map[types.Object]bool{}
+	if !detmapBodyOK(pkg, rs.Body.List, targets) {
+		return false
+	}
+	if len(targets) == 0 {
+		return true // aggregate-only
+	}
+	return sortedAfter(pkg, rs, fnBody, targets)
+}
+
+// detmapBodyOK classifies the loop body: true when every statement is a
+// commutative aggregation, a delete, or an append into a slice variable
+// (recorded in targets), possibly nested under if/blocks.
+func detmapBodyOK(pkg *Package, stmts []ast.Stmt, targets map[types.Object]bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			// x++ / x-- accumulate commutatively.
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				// Commutative accumulation (+=, -=, |=, &=, ^=).
+			case token.ASSIGN:
+				if !detmapAppend(pkg, s, targets) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "delete" {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				return false
+			}
+			if !detmapBodyOK(pkg, s.Body.List, targets) {
+				return false
+			}
+			if s.Else != nil {
+				eb, ok := s.Else.(*ast.BlockStmt)
+				if !ok || !detmapBodyOK(pkg, eb.List, targets) {
+					return false
+				}
+			}
+		case *ast.BlockStmt:
+			if !detmapBodyOK(pkg, s.List, targets) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// detmapAppend recognizes `xs = append(xs, ...)` and records xs in targets.
+func detmapAppend(pkg *Package, s *ast.AssignStmt, targets map[types.Object]bool) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return false
+	}
+	obj := pkg.objectOf(lhs)
+	if obj == nil {
+		return false
+	}
+	targets[obj] = true
+	return true
+}
+
+// sortedAfter reports whether, somewhere after the range statement in the
+// enclosing function body, one of the collected slices is passed to a
+// sort.* or slices.* call.
+func sortedAfter(pkg *Package, rs *ast.RangeStmt, fnBody *ast.BlockStmt, targets map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if !isSortPackage(pkg, id) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok && targets[pkg.objectOf(aid)] {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortPackage reports whether id names the sort or slices package.
+func isSortPackage(pkg *Package, id *ast.Ident) bool {
+	if obj := pkg.objectOf(id); obj != nil {
+		if pn, ok := obj.(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			return p == "sort" || p == "slices"
+		}
+		return false
+	}
+	// Without type info, fall back to the conventional names.
+	return id.Name == "sort" || id.Name == "slices"
+}

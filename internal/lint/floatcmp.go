@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmp guards the statistics pipeline, where almost everything is (and
+// must stay) uint64 cycle counts: floating point appears only at the final
+// table-rendering division. Two failure modes are flagged:
+//
+//   - float ==/!= comparisons (packages stats and exp): exact float equality
+//     is almost never what a table-diff gate wants; compare the underlying
+//     integer counters, or compare formatted output
+//   - naive float accumulation in loops (package stats only): `sum += x` over
+//     a float in a range/for loop reorders rounding error if the iteration
+//     order ever changes; accumulate in uint64 and convert once, as the rest
+//     of the package does
+//
+// Both carry suppression escape hatches for the rare justified case.
+
+// floatcmpEqualityPackages are checked for float ==/!=.
+var floatcmpEqualityPackages = map[string]bool{"stats": true, "exp": true}
+
+// floatcmpAccumPackages are additionally checked for float += in loops.
+var floatcmpAccumPackages = map[string]bool{"stats": true}
+
+func floatcmpRun(pkg *Package, report reportFunc) {
+	checkEq := floatcmpEqualityPackages[pkg.Name]
+	checkAccum := floatcmpAccumPackages[pkg.Name]
+	if !checkEq && !checkAccum {
+		return
+	}
+	var inLoop []bool
+	push := func(v bool) { inLoop = append(inLoop, v) }
+	pop := func() { inLoop = inLoop[:len(inLoop)-1] }
+	looping := func() bool { return len(inLoop) > 0 && inLoop[len(inLoop)-1] }
+
+	for _, file := range pkg.Files {
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				push(true)
+				if x.Init != nil {
+					ast.Inspect(x.Init, walk)
+				}
+				if x.Cond != nil {
+					ast.Inspect(x.Cond, walk)
+				}
+				if x.Post != nil {
+					ast.Inspect(x.Post, walk)
+				}
+				ast.Inspect(x.Body, walk)
+				pop()
+				return false
+			case *ast.RangeStmt:
+				push(true)
+				ast.Inspect(x.Body, walk)
+				pop()
+				return false
+			case *ast.FuncLit:
+				// A new function body is a new loop context.
+				push(false)
+				ast.Inspect(x.Body, walk)
+				pop()
+				return false
+			case *ast.BinaryExpr:
+				if checkEq && (x.Op == token.EQL || x.Op == token.NEQ) &&
+					(floatcmpIsFloat(pkg, x.X) || floatcmpIsFloat(pkg, x.Y)) {
+					report(x.OpPos, "float %s comparison is rounding-sensitive; compare the underlying integer counters or formatted output", x.Op)
+				}
+			case *ast.AssignStmt:
+				if checkAccum && looping() && x.Tok == token.ADD_ASSIGN &&
+					len(x.Lhs) == 1 && floatcmpIsFloat(pkg, x.Lhs[0]) {
+					report(x.TokPos, "naive float accumulation in a loop reorders rounding error; accumulate in uint64 and convert once")
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+}
+
+// floatcmpIsFloat reports whether e has floating-point type.
+func floatcmpIsFloat(pkg *Package, e ast.Expr) bool {
+	t := pkg.typeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotalloc flags function literals passed to the engine's scheduling APIs
+// (Sim.At, Sim.Spawn, Thread.Delay/Park/Unpark and any future
+// Schedule-family method). The engine's dispatch path is allocation-free by
+// design — events carry typed resume targets, not closures — so a func
+// literal handed to a scheduling call re-introduces a per-event heap
+// allocation (the closure plus its captured variables) on exactly the path
+// the simulator's throughput depends on. Setup-time closures (one per run,
+// not per event) are acceptable and documented with //svmlint:ignore
+// hotalloc <reason>.
+
+// hotallocMethods is the engine scheduling API surface to guard.
+var hotallocMethods = map[string]bool{
+	"At": true, "Spawn": true, "Delay": true, "Park": true,
+	"Unpark": true, "Schedule": true, "After": true,
+}
+
+func hotallocRun(pkg *Package, report reportFunc) {
+	for _, file := range pkg.Files {
+		engineNames := importNames(file, func(p string) bool {
+			return pathBase(p) == "engine"
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !hotallocMethods[sel.Sel.Name] {
+				return true
+			}
+			if !hotallocEngineRecv(pkg, sel.X, engineNames) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					report(lit.Pos(), "function literal passed to engine %s call allocates per event on the scheduling hot path; use a typed resume target, or document a setup-time exception with //svmlint:ignore hotalloc <reason>", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hotallocEngineRecv reports whether recv is the engine package itself
+// (engine.Foo(...)) or a value whose type is declared in a package named
+// engine (sim.At(...), t.Delay(...)).
+func hotallocEngineRecv(pkg *Package, recv ast.Expr, engineNames map[string]bool) bool {
+	if id, ok := recv.(*ast.Ident); ok {
+		if obj := pkg.objectOf(id); obj != nil {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Name() == "engine"
+			}
+		} else if engineNames[id.Name] {
+			return true
+		}
+	}
+	t := pkg.typeOf(recv)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	p := named.Obj().Pkg()
+	return p != nil && p.Name() == "engine"
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //svmlint:ignore comment.
+type suppression struct {
+	file     string
+	line     int // line the comment sits on
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// suppressionSet indexes suppressions by file and line for the matching pass.
+type suppressionSet struct {
+	byLine map[string]map[int][]*suppression
+	all    []*suppression
+}
+
+const ignorePrefix = "svmlint:ignore"
+
+// collectSuppressions scans a package's comments for //svmlint:ignore
+// directives. Malformed directives (unknown analyzer, missing reason) are
+// reported immediately as findings of the pseudo-analyzer "svmlint": a
+// suppression is a documented exception, and an exception without a written
+// justification is itself a violation.
+func collectSuppressions(pkg *Package, known map[string]bool, report func(Finding)) *suppressionSet {
+	set := &suppressionSet{byLine: map[string]map[int][]*suppression{}}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text, ok = strings.CutPrefix(strings.TrimLeft(text, " \t"), ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(Finding{
+						Analyzer: "svmlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "svmlint:ignore needs an analyzer name and a reason: //svmlint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(Finding{
+						Analyzer: "svmlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "svmlint:ignore names unknown analyzer " + name,
+					})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name))
+				if reason == "" {
+					report(Finding{
+						Analyzer: "svmlint", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "svmlint:ignore " + name + " has no reason; explain why the exception is sound",
+					})
+					continue
+				}
+				s := &suppression{file: pos.Filename, line: pos.Line, analyzer: name, reason: reason}
+				if set.byLine[s.file] == nil {
+					set.byLine[s.file] = map[int][]*suppression{}
+				}
+				set.byLine[s.file][s.line] = append(set.byLine[s.file][s.line], s)
+				set.all = append(set.all, s)
+			}
+		}
+	}
+	return set
+}
+
+// match looks for a suppression covering a finding at pos: the directive may
+// sit on the finding's own line (trailing comment) or on the line directly
+// above it.
+func (s *suppressionSet) match(analyzer string, pos token.Position) *suppression {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, sup := range lines[line] {
+			if sup.analyzer == analyzer {
+				sup.used = true
+				return sup
+			}
+		}
+	}
+	return nil
+}
+
+// unused reports suppressions that matched no finding. A stale ignore hides
+// nothing but suggests the code changed out from under its documentation.
+// Suppressions for analyzers outside enabled are left alone: they may well
+// match once the analyzer is switched back on.
+func (s *suppressionSet) unused(enabled map[string]bool, report func(Finding)) {
+	for _, sup := range s.all {
+		if !sup.used && enabled[sup.analyzer] {
+			report(Finding{
+				Analyzer: "svmlint", File: sup.file, Line: sup.line, Col: 1,
+				Message: "svmlint:ignore " + sup.analyzer + " suppresses nothing; remove the stale directive",
+			})
+		}
+	}
+}

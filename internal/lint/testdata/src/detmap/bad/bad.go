@@ -1,0 +1,21 @@
+// Package proto exercises detmap: both loops below have order-dependent
+// effects and must be flagged.
+package proto
+
+// flushOrder appends map values in iteration order and never sorts: the
+// result order differs run to run.
+func flushOrder(pending map[int]string) []string {
+	var out []string
+	for _, v := range pending {
+		out = append(out, v)
+	}
+	return out
+}
+
+// pick returns "the first" key, which is a different key every run.
+func pick(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}

@@ -1,0 +1,36 @@
+// Package proto exercises detmap's allowed idioms: collect-then-sort and
+// aggregate-only loops produce order-independent results and are not flagged.
+package proto
+
+import "sort"
+
+// keysSorted collects keys and restores a canonical order before use.
+func keysSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// total only accumulates commutatively; visit order cannot matter.
+func total(m map[int]uint64) uint64 {
+	var t uint64
+	n := 0
+	for _, v := range m {
+		t += v
+		n++
+	}
+	_ = n
+	return t
+}
+
+// prune only deletes from another map, which is order-insensitive.
+func prune(m map[int]uint64, dead map[int]bool) {
+	for k := range m {
+		if m[k] == 0 {
+			delete(dead, k)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package stats exercises floatcmp: float equality and naive float
+// accumulation in the statistics pipeline must be flagged.
+package stats
+
+// equalMeans compares floats exactly; rounding makes this unstable.
+func equalMeans(a, b float64) bool {
+	return a == b
+}
+
+// mean accumulates floats naively: the rounding error depends on visit
+// order.
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

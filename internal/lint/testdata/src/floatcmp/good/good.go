@@ -1,0 +1,21 @@
+// Package stats exercises floatcmp's allowed shapes: integer accumulation
+// with one final conversion, and tolerance-based comparison.
+package stats
+
+// total accumulates in uint64, the package convention.
+func total(xs []uint64) uint64 {
+	var t uint64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// within compares floats against a tolerance instead of exactly.
+func within(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

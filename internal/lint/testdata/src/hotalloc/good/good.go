@@ -1,0 +1,22 @@
+// Package model exercises hotalloc's allowed shapes: named function values
+// carry no per-call closure allocation, and scheduling-named methods on
+// non-engine types are out of scope.
+package model
+
+import "svmsim/internal/lint/testdata/src/engine"
+
+func tick() {}
+
+func arm(s *engine.Sim, t *engine.Thread) {
+	s.At(10, tick)
+	t.Delay(5, tick)
+}
+
+// queue is not an engine type; its At is unrelated to the scheduler.
+type queue struct{}
+
+func (q *queue) At(i int, fn func()) {}
+
+func other(q *queue) {
+	q.At(0, func() {})
+}

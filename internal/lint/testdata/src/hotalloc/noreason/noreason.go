@@ -1,0 +1,11 @@
+// Package model exercises the mandatory-reason rule: an //svmlint:ignore
+// without a justification is itself a finding, and the directive does not
+// suppress the underlying one.
+package model
+
+import "svmsim/internal/lint/testdata/src/engine"
+
+func setup(s *engine.Sim) {
+	//svmlint:ignore hotalloc
+	s.At(10, func() {})
+}

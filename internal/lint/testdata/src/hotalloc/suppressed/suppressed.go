@@ -1,0 +1,10 @@
+// Package model exercises suppression: the closure below is documented with
+// a reasoned //svmlint:ignore and must not surface as an active finding.
+package model
+
+import "svmsim/internal/lint/testdata/src/engine"
+
+func setup(s *engine.Sim) {
+	//svmlint:ignore hotalloc one-time setup closure, not on the per-event path
+	s.At(10, func() {})
+}

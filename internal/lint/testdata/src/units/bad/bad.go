@@ -1,0 +1,20 @@
+// Package cfg exercises units: engine.Time declarations without a unit
+// suffix and unit-mixing arithmetic must be flagged.
+package cfg
+
+import "svmsim/internal/lint/testdata/src/engine"
+
+// HostOverhead does not say whether it is cycles or ns.
+const HostOverhead engine.Time = 90
+
+// Params mixes suffixed and unsuffixed fields.
+type Params struct {
+	LinkLatency engine.Time
+	GapCycles   engine.Time
+	CtlBytes    engine.Time
+}
+
+// total adds cycles to bytes: a unit error the type system cannot see.
+func (p Params) total() engine.Time {
+	return p.GapCycles + p.CtlBytes
+}

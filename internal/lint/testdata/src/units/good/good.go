@@ -1,0 +1,27 @@
+// Package cfg exercises units' allowed shapes: suffixed names, Per-rates,
+// unexported declarations, and multiplicative unit conversion.
+package cfg
+
+import "svmsim/internal/lint/testdata/src/engine"
+
+// SpinNs is suffixed; fine.
+const SpinNs engine.Time = 50
+
+// Params carries a unit (or rate marker) on every exported Time field.
+type Params struct {
+	HostOverheadCycles engine.Time
+	PageBytes          engine.Time
+	WordsPerFlit       engine.Time
+
+	budget engine.Time // unexported: naming is local style
+}
+
+// scale multiplies, which is how units are legitimately converted.
+func (p Params) scale(ratio engine.Time) engine.Time {
+	return p.HostOverheadCycles * ratio
+}
+
+// sum combines two quantities in the same unit.
+func (p Params) sum() engine.Time {
+	return p.HostOverheadCycles + p.budget
+}

@@ -1,0 +1,23 @@
+// Package sim exercises wallclock: host-clock reads and global math/rand use
+// inside internal/ simulation code must be flagged.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the host clock.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// pause blocks on the host timer.
+func pause() {
+	time.Sleep(time.Millisecond)
+}
+
+// jitter draws from the process-global, non-reproducibly seeded source.
+func jitter() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,19 @@
+// Package sim exercises wallclock's allowed shapes: explicitly seeded
+// generators and non-clock uses of the time package are fine.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// deterministic uses an explicitly seeded source: reproducible.
+func deterministic(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+// window uses time.Duration purely as a unit type; no clock is read.
+func window(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

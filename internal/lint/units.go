@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// units enforces the naming convention that makes the simulator's
+// configuration self-documenting: every exported constant, variable and
+// struct field declared with type engine.Time must carry an explicit unit
+// suffix (Cycles, Ns, Bytes) or a rate marker ("Per", as in BytesPerCycle or
+// PollTaxPerMille). engine.Time is a type alias for uint64, so the type
+// system cannot tell a nanosecond from a cycle from a byte count — the name
+// is the only carrier of the unit, and the paper's parameter sweeps (host
+// overhead in cycles vs. link latency in ns before conversion) make silent
+// unit confusion a realistic bug class. As a second line of defense, additive
+// arithmetic and comparisons between two identifiers with *different*
+// recognized suffixes are flagged (multiplying or dividing is how units are
+// legitimately converted, so * and / are exempt).
+
+// unitSuffixes are the recognized unit markers, longest first.
+var unitSuffixes = []string{"Cycles", "Bytes", "Ns"}
+
+// unitOK reports whether an engine.Time declaration name carries a unit.
+func unitOK(name string) bool {
+	return unitSuffix(name) != "" || strings.Contains(name, "Per")
+}
+
+// unitSuffix extracts the recognized unit suffix of a name, or "".
+func unitSuffix(name string) string {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return s
+		}
+	}
+	return ""
+}
+
+func unitsRun(pkg *Package, report reportFunc) {
+	for _, file := range pkg.Files {
+		engineNames := importNames(file, func(p string) bool {
+			return pathBase(p) == "engine"
+		})
+		isTimeType := func(e ast.Expr) bool { return unitsIsTime(pkg, e, engineNames) }
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GenDecl:
+				if x.Tok != token.CONST && x.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range x.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || vs.Type == nil || !isTimeType(vs.Type) {
+						continue
+					}
+					kind := "constant"
+					if x.Tok == token.VAR {
+						kind = "variable"
+					}
+					for _, name := range vs.Names {
+						if name.IsExported() && !unitOK(name.Name) {
+							report(name.Pos(), "engine.Time %s %s has no unit suffix; name it with Cycles, Ns, Bytes or a Per-rate", kind, name.Name)
+						}
+					}
+				}
+			case *ast.StructType:
+				if x.Fields == nil {
+					return true
+				}
+				for _, field := range x.Fields.List {
+					if !isTimeType(field.Type) {
+						continue
+					}
+					for _, name := range field.Names {
+						if name.IsExported() && !unitOK(name.Name) {
+							report(name.Pos(), "engine.Time field %s has no unit suffix; name it with Cycles, Ns, Bytes or a Per-rate", name.Name)
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				unitsCheckMix(pkg, x, report)
+			}
+			return true
+		})
+	}
+}
+
+// unitsIsTime recognizes the type expression engine.Time (or bare Time inside
+// the engine package itself). engine.Time is an alias, so this is a syntactic
+// judgment on the declared type, not a types.Type comparison.
+func unitsIsTime(pkg *Package, e ast.Expr, engineNames map[string]bool) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return pkg.Name == "engine" && t.Name == "Time"
+	case *ast.SelectorExpr:
+		if t.Sel.Name != "Time" {
+			return false
+		}
+		id, ok := t.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if obj := pkg.objectOf(id); obj != nil {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Name() == "engine"
+		}
+		return engineNames[id.Name]
+	}
+	return false
+}
+
+// unitsMixOps are the operators that require both operands to be in the same
+// unit. Multiplication and division convert units and are exempt.
+var unitsMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+// unitsCheckMix flags additive/comparison expressions whose two operands are
+// named with different unit suffixes (HostOverheadCycles + CtlBytes).
+func unitsCheckMix(pkg *Package, b *ast.BinaryExpr, report reportFunc) {
+	if !unitsMixOps[b.Op] {
+		return
+	}
+	ls := unitSuffix(terminalName(b.X))
+	rs := unitSuffix(terminalName(b.Y))
+	if ls == "" || rs == "" || ls == rs {
+		return
+	}
+	report(b.OpPos, "%s mixes units: %s (%s) %s %s (%s); convert explicitly before combining",
+		b.Op, terminalName(b.X), ls, b.Op, terminalName(b.Y), rs)
+}

@@ -186,13 +186,13 @@ func TestPollingAddsTaxButAvoidsInterrupts(t *testing.T) {
 	// With very expensive interrupts, polling must win; with free
 	// interrupts, polling's tax and batching delay must cost something.
 	expensive := base()
-	expensive.IntrHalfCost = 10000
+	expensive.IntrHalfCostCycles = 10000
 	rExp, err := Run(expensive, counterApp(20))
 	if err != nil {
 		t.Fatal(err)
 	}
 	polled := base()
-	polled.IntrHalfCost = 10000 // irrelevant under polling
+	polled.IntrHalfCostCycles = 10000 // irrelevant under polling
 	polled.Requests = interrupts.Polling
 	rPoll, err := Run(polled, counterApp(20))
 	if err != nil {

@@ -27,10 +27,10 @@ type Config struct {
 	Net   network.Params
 	Proto proto.Params
 
-	// IntrHalfCost is the interrupt cost per half (issue and delivery each
+	// IntrHalfCostCycles is the interrupt cost per half (issue and delivery each
 	// cost this much; the paper's "total interrupt cost" is twice this).
-	IntrHalfCost engine.Time
-	IntrPolicy   interrupts.Policy
+	IntrHalfCostCycles engine.Time
+	IntrPolicy         interrupts.Policy
 
 	// Requests selects how incoming requests are handled: interrupts (the
 	// paper's baseline), polling, or a dedicated protocol processor per
@@ -62,16 +62,16 @@ func Achievable() Config {
 		HeapBytes:    16 << 20,
 		Node:         node.DefaultParams(),
 		Net: network.Params{
-			HostOverhead:      500,
-			NIOccupancy:       200,
-			IOBytesPerCycle:   0.5,
-			LinkBytesPerCycle: 2.0,
-			LinkLatency:       50,
-			MaxPacketBytes:    2048,
-			HeaderBytes:       32,
+			HostOverheadCycles: 500,
+			NIOccupancyCycles:  200,
+			IOBytesPerCycle:    0.5,
+			LinkBytesPerCycle:  2.0,
+			LinkLatencyCycles:  50,
+			MaxPacketBytes:     2048,
+			HeaderBytes:        32,
 		},
-		Proto:        proto.DefaultParams(),
-		IntrHalfCost: 500,
+		Proto:              proto.DefaultParams(),
+		IntrHalfCostCycles: 500,
 	}
 }
 
@@ -80,10 +80,10 @@ func Achievable() Config {
 // at memory-bus bandwidth); contention is still modeled.
 func Best() Config {
 	c := Achievable()
-	c.Net.HostOverhead = 0
-	c.Net.NIOccupancy = 0
+	c.Net.HostOverheadCycles = 0
+	c.Net.NIOccupancyCycles = 0
 	c.Net.IOBytesPerCycle = 2.0
-	c.IntrHalfCost = 0
+	c.IntrHalfCostCycles = 0
 	return c
 }
 
@@ -132,28 +132,28 @@ func Run(cfg Config, app App) (*Result, error) {
 	nodes := cfg.Procs / cfg.ProcsPerNode
 	nodePrm := cfg.Node
 	poll := cfg.Poll
-	if poll.Interval == 0 {
+	if poll.IntervalCycles == 0 {
 		poll = interrupts.DefaultPollParams()
 	}
 	if cfg.Requests == interrupts.Polling {
 		// Every processor pays the poll-check instrumentation tax.
-		nodePrm.PollTaxPerMille = poll.CheckCycles * 1000 / poll.Interval
+		nodePrm.PollTaxPerMille = poll.CheckCycles * 1000 / poll.IntervalCycles
 	}
 	sys := proto.NewSystem(sim, proto.SystemConfig{
-		Nodes:        nodes,
-		ProcsPerNode: cfg.ProcsPerNode,
-		HeapBytes:    cfg.HeapBytes,
-		NodePrm:      nodePrm,
-		NetPrm:       cfg.Net,
-		ProtoPrm:     cfg.Proto,
-		IntrIssue:    cfg.IntrHalfCost,
-		IntrDeliver:  cfg.IntrHalfCost,
-		IntrPolicy:   cfg.IntrPolicy,
-		Requests:     cfg.Requests,
-		Poll:         poll,
-		NIServePages: cfg.NIServePages,
-		NIsPerNode:   cfg.NIsPerNode,
-		Trace:        cfg.Trace,
+		Nodes:             nodes,
+		ProcsPerNode:      cfg.ProcsPerNode,
+		HeapBytes:         cfg.HeapBytes,
+		NodePrm:           nodePrm,
+		NetPrm:            cfg.Net,
+		ProtoPrm:          cfg.Proto,
+		IntrIssueCycles:   cfg.IntrHalfCostCycles,
+		IntrDeliverCycles: cfg.IntrHalfCostCycles,
+		IntrPolicy:        cfg.IntrPolicy,
+		Requests:          cfg.Requests,
+		Poll:              poll,
+		NIServePages:      cfg.NIServePages,
+		NIsPerNode:        cfg.NIsPerNode,
+		Trace:             cfg.Trace,
 	})
 	w := &shm.World{Sys: sys}
 	state := app.Setup(w)
@@ -176,6 +176,7 @@ func Run(cfg Config, app App) (*Result, error) {
 	var maxEnd engine.Time
 	for i, gid := range appProcs {
 		appID, g := i, gid
+		//svmlint:ignore hotalloc one closure per processor at run setup, not on the event path
 		sim.Spawn(fmt.Sprintf("proc%d", g), func(t *engine.Thread) {
 			c := shm.NewProc(w, sys.Procs[g], appID, len(appProcs), t)
 			c.P.Bind(t, &run.Procs[g])

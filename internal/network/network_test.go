@@ -10,13 +10,13 @@ import (
 
 func testParams() *Params {
 	return &Params{
-		HostOverhead:      500,
-		NIOccupancy:       1000,
-		IOBytesPerCycle:   0.5,
-		LinkBytesPerCycle: 2.0,
-		LinkLatency:       50,
-		MaxPacketBytes:    2048,
-		HeaderBytes:       32,
+		HostOverheadCycles: 500,
+		NIOccupancyCycles:  1000,
+		IOBytesPerCycle:    0.5,
+		LinkBytesPerCycle:  2.0,
+		LinkLatencyCycles:  50,
+		MaxPacketBytes:     2048,
+		HeaderBytes:        32,
 	}
 }
 
@@ -92,8 +92,8 @@ func TestMessageDelivered(t *testing.T) {
 func TestZeroCostParametersStillDeliver(t *testing.T) {
 	s := engine.New()
 	p := testParams()
-	p.NIOccupancy = 0
-	p.LinkLatency = 0
+	p.NIOccupancyCycles = 0
+	p.LinkLatencyCycles = 0
 	n := 0
 	a, _ := pair(s, p, func(_ *engine.Thread, m *Message) { n++ })
 	s.Spawn("sender", func(th *engine.Thread) {
@@ -137,9 +137,9 @@ func TestOccupancyScalesWithPackets(t *testing.T) {
 	run := func(size int) engine.Time {
 		s := engine.New()
 		p := testParams()
-		p.NIOccupancy = 10000
+		p.NIOccupancyCycles = 10000
 		p.IOBytesPerCycle = 1000 // make everything else negligible
-		p.LinkLatency = 0
+		p.LinkLatencyCycles = 0
 		var at engine.Time
 		a, _ := pair(s, p, func(_ *engine.Thread, m *Message) { at = s.Now() })
 		s.Spawn("sender", func(th *engine.Thread) {
@@ -162,8 +162,8 @@ func TestIOBandwidthLimitsTransfer(t *testing.T) {
 	run := func(bw float64) engine.Time {
 		s := engine.New()
 		p := testParams()
-		p.NIOccupancy = 0
-		p.LinkLatency = 0
+		p.NIOccupancyCycles = 0
+		p.LinkLatencyCycles = 0
 		p.IOBytesPerCycle = bw
 		var at engine.Time
 		a, _ := pair(s, p, func(_ *engine.Thread, m *Message) { at = s.Now() })
@@ -191,8 +191,8 @@ func TestBidirectionalShareIOBus(t *testing.T) {
 	// must serialize the two directions.
 	s := engine.New()
 	p := testParams()
-	p.NIOccupancy = 0
-	p.LinkLatency = 0
+	p.NIOccupancyCycles = 0
+	p.LinkLatencyCycles = 0
 	done := 0
 	a, b := pair(s, p, func(_ *engine.Thread, m *Message) { done++ })
 	var end engine.Time

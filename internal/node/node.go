@@ -30,14 +30,15 @@ type Params struct {
 	WBRetireAt int
 
 	BusWidthBytes int
+	//svmlint:ignore units dimensionless clock-rate ratio (processor cycles per bus cycle)
 	BusRatio      engine.Time // processor cycles per bus cycle
 	BusArbCycles  engine.Time // bus cycles
 	BusAddrCycles engine.Time // bus cycles
 	DRAMCycles    engine.Time // processor cycles
 
-	// SyncQuantum bounds how many fast-path cycles a processor may
+	// SyncQuantumCycles bounds how many fast-path cycles a processor may
 	// accumulate before synchronizing with the global event schedule.
-	SyncQuantum engine.Time
+	SyncQuantumCycles engine.Time
 
 	// PollTaxPerMille inflates every charged cycle by this many parts per
 	// thousand, modeling the continuous instrumentation overhead of a
@@ -48,21 +49,21 @@ type Params struct {
 // DefaultParams returns the baseline node architecture.
 func DefaultParams() Params {
 	return Params{
-		LineBytes:     32,
-		L1Bytes:       8 << 10,
-		L1Assoc:       1,
-		L2Bytes:       128 << 10,
-		L2Assoc:       2,
-		L1HitCycles:   1,
-		L2HitCycles:   8,
-		WBEntries:     8,
-		WBRetireAt:    4,
-		BusWidthBytes: 8,
-		BusRatio:      4,
-		BusArbCycles:  1,
-		BusAddrCycles: 1,
-		DRAMCycles:    28,
-		SyncQuantum:   2000,
+		LineBytes:         32,
+		L1Bytes:           8 << 10,
+		L1Assoc:           1,
+		L2Bytes:           128 << 10,
+		L2Assoc:           2,
+		L1HitCycles:       1,
+		L2HitCycles:       8,
+		WBEntries:         8,
+		WBRetireAt:        4,
+		BusWidthBytes:     8,
+		BusRatio:          4,
+		BusArbCycles:      1,
+		BusAddrCycles:     1,
+		DRAMCycles:        28,
+		SyncQuantumCycles: 2000,
 	}
 }
 
@@ -197,7 +198,7 @@ func (p *Processor) Charge(t *engine.Thread, n engine.Time, kind stats.TimeKind)
 	}
 	p.Stats.Time[kind] += n
 	p.lag += n
-	if p.lag >= p.Node.Prm.SyncQuantum {
+	if p.lag >= p.Node.Prm.SyncQuantumCycles {
 		p.Sync(t)
 	}
 }

@@ -9,7 +9,7 @@ import (
 
 func testNode(s *engine.Sim, nprocs int) *Node {
 	prm := DefaultParams()
-	prm.SyncQuantum = 100 // tight quantum so tests see engine time move
+	prm.SyncQuantumCycles = 100 // tight quantum so tests see engine time move
 	return New(s, 0, nprocs, 1<<20, prm, 0)
 }
 

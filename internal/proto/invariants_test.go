@@ -16,24 +16,24 @@ import (
 func newTestSystem(nodes, ppn int) (*engine.Sim, *System) {
 	sim := engine.New()
 	netPrm := network.Params{
-		HostOverhead:      100,
-		NIOccupancy:       100,
-		IOBytesPerCycle:   1.0,
-		LinkBytesPerCycle: 2.0,
-		LinkLatency:       20,
-		MaxPacketBytes:    2048,
-		HeaderBytes:       32,
+		HostOverheadCycles: 100,
+		NIOccupancyCycles:  100,
+		IOBytesPerCycle:    1.0,
+		LinkBytesPerCycle:  2.0,
+		LinkLatencyCycles:  20,
+		MaxPacketBytes:     2048,
+		HeaderBytes:        32,
 	}
 	sy := NewSystem(sim, SystemConfig{
-		Nodes:        nodes,
-		ProcsPerNode: ppn,
-		HeapBytes:    1 << 20,
-		NodePrm:      node.DefaultParams(),
-		NetPrm:       netPrm,
-		ProtoPrm:     DefaultParams(),
-		IntrIssue:    100,
-		IntrDeliver:  100,
-		IntrPolicy:   interrupts.Static,
+		Nodes:             nodes,
+		ProcsPerNode:      ppn,
+		HeapBytes:         1 << 20,
+		NodePrm:           node.DefaultParams(),
+		NetPrm:            netPrm,
+		ProtoPrm:          DefaultParams(),
+		IntrIssueCycles:   100,
+		IntrDeliverCycles: 100,
+		IntrPolicy:        interrupts.Static,
 	})
 	return sim, sy
 }

@@ -21,9 +21,9 @@ type SystemConfig struct {
 	NetPrm   network.Params
 	ProtoPrm Params
 
-	IntrIssue   engine.Time
-	IntrDeliver engine.Time
-	IntrPolicy  interrupts.Policy
+	IntrIssueCycles   engine.Time
+	IntrDeliverCycles engine.Time
+	IntrPolicy        interrupts.Policy
 
 	// Requests selects interrupt, polling or dedicated-processor handling
 	// of incoming page and lock requests (the paper's proposed interrupt
@@ -128,7 +128,7 @@ func NewSystem(s *engine.Sim, cfg SystemConfig) *System {
 	if cfg.NIsPerNode <= 0 {
 		cfg.NIsPerNode = 1
 	}
-	if cfg.Poll.Interval == 0 {
+	if cfg.Poll.IntervalCycles == 0 {
 		cfg.Poll = interrupts.DefaultPollParams()
 	}
 	if cfg.NIPageServeCycles == 0 {
@@ -149,7 +149,7 @@ func NewSystem(s *engine.Sim, cfg SystemConfig) *System {
 		nd := node.New(s, n, cfg.ProcsPerNode, cfg.HeapBytes, cfg.NodePrm, n*cfg.ProcsPerNode)
 		sy.Nodes = append(sy.Nodes, nd)
 		sy.Procs = append(sy.Procs, nd.Procs...)
-		intc := interrupts.New(nd, cfg.IntrIssue, cfg.IntrDeliver, cfg.IntrPolicy)
+		intc := interrupts.New(nd, cfg.IntrIssueCycles, cfg.IntrDeliverCycles, cfg.IntrPolicy)
 		intc.Mode = cfg.Requests
 		intc.Poll = cfg.Poll
 		sy.Intc = append(sy.Intc, intc)
@@ -277,10 +277,10 @@ func (sy *System) send(t *engine.Thread, m *network.Message, p *node.Processor, 
 	st := sy.statsProc(m.Src, p)
 	st.MsgsSent++
 	st.BytesSent += uint64(prm.WireBytes(m.Size))
-	if overhead && p != nil && prm.HostOverhead > 0 {
-		t.Delay(prm.HostOverhead)
+	if overhead && p != nil && prm.HostOverheadCycles > 0 {
+		t.Delay(prm.HostOverheadCycles)
 		if app {
-			st.Time[stats.SendOverhead] += prm.HostOverhead
+			st.Time[stats.SendOverhead] += prm.HostOverheadCycles
 		}
 	}
 	sy.niFor(m.Src, m.Dst).Post(t, m)

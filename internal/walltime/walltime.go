@@ -1,0 +1,34 @@
+// Package walltime is the only place harness code is allowed to read the
+// host's wall clock. Simulation code under internal/ measures time exclusively
+// in simulated processor cycles (engine.Time); a wall-clock read leaking into
+// a simulation package would make runs timing-dependent and break the
+// bit-determinism contract that the experiment tables rely on. The svmlint
+// wallclock analyzer enforces this boundary: it forbids time.Now, time.Since
+// and friends in every internal/ package except this one, so any legitimate
+// harness-side measurement (progress reporting, elapsed-time footers) must go
+// through walltime, where it is auditable as a package import rather than a
+// call-site regex.
+package walltime
+
+import "time"
+
+// Stopwatch measures elapsed host wall time for harness diagnostics (never
+// for simulated behavior).
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start begins a measurement.
+func Start() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall time since Start.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}
+
+// Seconds returns the wall time since Start in seconds.
+func (s Stopwatch) Seconds() float64 {
+	return s.Elapsed().Seconds()
+}
