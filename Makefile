@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-engine experiments
+.PHONY: check vet lint build test race bench bench-engine experiments faults
 
 check: vet lint build test race
 
@@ -27,8 +27,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The race set covers the packages with real concurrency (the parallel
+# experiment Runner, the engine) plus the fault-recovery machinery whose
+# livelock regressions must fail fast instead of hanging.
 race:
-	$(GO) test -race ./internal/exp/... ./internal/engine/...
+	$(GO) test -race -timeout 10m ./internal/exp/... ./internal/engine/... ./internal/network/... ./internal/proto/...
 
 # Single-run and suite-level throughput benchmarks (before/after numbers for
 # EXPERIMENTS.md).
@@ -42,3 +45,8 @@ bench-engine:
 # Regenerate every table and figure of the paper (small sizes, parallel).
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Fault-injection smoke: the drop-rate sweep on a small topology. Finishes in
+# seconds and exercises the reliable-delivery layer end to end.
+faults:
+	$(GO) run ./cmd/experiments -only droprate -procs 4 -ppn 2

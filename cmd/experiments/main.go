@@ -29,6 +29,7 @@ func main() {
 		procs    = flag.Int("procs", 16, "total processors")
 		ppn      = flag.Int("ppn", 4, "processors per node (baseline)")
 		parallel = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		retries  = flag.Int("retries", 0, "extra attempts for a failing cell before it becomes an error row")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func main() {
 	s.Procs = *procs
 	s.PPN = *ppn
 	s.Parallelism = *parallel
+	s.Retries = *retries
 	if *verbose {
 		s.Verbose = os.Stderr
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 )
 
 // Time is simulated time in processor clock cycles.
@@ -37,14 +38,27 @@ const (
 	evResume
 	// evUnpark transfers control to th, asserting it is actually parked.
 	evUnpark
+	// evTarget calls target.HandleEvent(arg) in scheduler context. Like the
+	// thread kinds it is closure-free: the target is a long-lived model
+	// object (e.g. a network interface) and arg is a pointer it already
+	// owns, so scheduling allocates nothing per event.
+	evTarget
 )
 
+// EventTarget receives typed callback events scheduled with AtTarget. The
+// handler runs in scheduler context (no current thread) and must not block.
+type EventTarget interface {
+	HandleEvent(arg any)
+}
+
 type event struct {
-	at   Time
-	seq  uint64
-	th   *Thread
-	fn   func()
-	kind evKind
+	at     Time
+	seq    uint64
+	th     *Thread
+	fn     func()
+	target EventTarget
+	arg    any
+	kind   evKind
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq).
@@ -113,6 +127,28 @@ type Sim struct {
 	// MaxEvents bounds the number of dispatched events as a livelock guard.
 	// Zero means the default (see Run).
 	MaxEvents uint64
+
+	// MaxCycles bounds simulated time (zero = unbounded). When the next
+	// event lies beyond the budget, Run stops with a *StallError instead of
+	// spinning: a retransmit storm or any other self-rescheduling pattern
+	// keeps the event queue non-empty forever, which MaxEvents only catches
+	// after billions of dispatches.
+	MaxCycles Time
+
+	// StallCheckCycles enables the quiescence watchdog (zero = off): if a
+	// window of this many simulated cycles passes in which no thread is
+	// dispatched while live threads exist, the model is churning on pure
+	// callback events (e.g. timers re-arming each other) without making
+	// application progress, and Run stops with a *StallError.
+	StallCheckCycles Time
+
+	// OnStall, when set, contributes model-level diagnostic lines (e.g.
+	// per-processor protocol breadcrumbs) to the StallError Run reports.
+	OnStall func() []string
+
+	// lastThreadAt is the time of the most recent thread dispatch, for the
+	// quiescence watchdog.
+	lastThreadAt Time
 }
 
 // New creates an empty simulator at time zero.
@@ -145,6 +181,26 @@ func (s *Sim) schedule(at Time, fn func()) {
 	s.events.push(event{at: at, seq: s.seq, fn: fn, kind: evCall})
 }
 
+// AtTarget schedules target.HandleEvent(arg) to run after delay cycles, in
+// scheduler context. It is the closure-free counterpart of At for per-event
+// hot paths: the event is a value in the recycled heap slice, so once the
+// heap has reached steady-state capacity the call allocates nothing.
+func (s *Sim) AtTarget(delay Time, target EventTarget, arg any) {
+	s.seq++
+	s.events.push(event{at: s.now + delay, seq: s.seq, target: target, arg: arg, kind: evTarget})
+}
+
+// Fail aborts the run with err after the current event finishes dispatching:
+// Run tears the simulation down and returns err. Model code uses it to
+// surface structured failures (e.g. a link exceeding its retry budget)
+// instead of panicking or hanging. The first failure wins; later calls are
+// ignored.
+func (s *Sim) Fail(err error) {
+	if s.failure == nil && err != nil {
+		s.failure = err
+	}
+}
+
 // scheduleThread enqueues a closure-free thread event. Events are values in
 // the heap's recycled backing slice, so this path performs zero allocations
 // once the heap has reached its steady-state capacity.
@@ -161,9 +217,13 @@ func (s *Sim) dispatch(ev event) {
 	switch ev.kind {
 	case evCall:
 		ev.fn()
+	case evTarget:
+		ev.target.HandleEvent(ev.arg)
 	case evResume:
+		s.lastThreadAt = ev.at
 		s.switchTo(ev.th)
 	case evUnpark:
+		s.lastThreadAt = ev.at
 		t := ev.th
 		if t.done {
 			return
@@ -324,6 +384,55 @@ func (e *LivelockError) Error() string {
 	return fmt.Sprintf("engine: event budget of %d exhausted at cycle %d (livelock?)", e.Events, e.NowCycles)
 }
 
+// StallError reports that the progress watchdog fired: the simulated-cycle
+// budget was exceeded, or no thread made progress for a full quiescence
+// window, while the event queue stayed non-empty (the livelock shape a
+// drained-queue DeadlockError cannot see). Threads lists the still-live
+// simulated threads; Diagnostics carries model-level per-thread context from
+// Sim.OnStall (e.g. each processor's last blocking protocol operation).
+type StallError struct {
+	NowCycles   Time
+	LimitCycles Time
+	Events      uint64
+	Reason      string
+	Threads     []string
+	Diagnostics []string
+}
+
+func (e *StallError) Error() string {
+	msg := fmt.Sprintf("engine: stalled at cycle %d after %d events (%s); live threads: %v",
+		e.NowCycles, e.Events, e.Reason, e.Threads)
+	if len(e.Diagnostics) > 0 {
+		msg += "; " + strings.Join(e.Diagnostics, "; ")
+	}
+	return msg
+}
+
+// liveThreadNames returns the names of live threads, sorted for determinism.
+func (s *Sim) liveThreadNames() []string {
+	names := make([]string, 0, len(s.live))
+	for t := range s.live {
+		if t.parked {
+			names = append(names, t.name+" (parked)")
+		} else {
+			names = append(names, t.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// stall builds a StallError, collects diagnostics, and tears down.
+func (s *Sim) stall(at, limit Time, events uint64, reason string) *StallError {
+	e := &StallError{NowCycles: at, LimitCycles: limit, Events: events,
+		Reason: reason, Threads: s.liveThreadNames()}
+	if s.OnStall != nil {
+		e.Diagnostics = s.OnStall()
+	}
+	s.teardown()
+	return e
+}
+
 // Run dispatches events until the queue drains. It returns nil when all
 // spawned threads have terminated, a *DeadlockError if threads remain parked,
 // or a *LivelockError if the event budget is exhausted.
@@ -343,6 +452,13 @@ func (s *Sim) Run() error {
 		}
 		dispatched++
 		ev := s.events.pop()
+		if s.MaxCycles > 0 && ev.at > s.MaxCycles {
+			return s.stall(ev.at, s.MaxCycles, dispatched-1, "simulated-cycle budget exceeded")
+		}
+		if s.StallCheckCycles > 0 && len(s.live) > 0 &&
+			ev.at > s.lastThreadAt && ev.at-s.lastThreadAt > s.StallCheckCycles {
+			return s.stall(ev.at, s.StallCheckCycles, dispatched-1, "no thread progress within quiescence window")
+		}
 		s.now = ev.at
 		s.dispatch(ev)
 		if s.failure != nil {

@@ -39,12 +39,16 @@ type Suite struct {
 	// Parallelism bounds the Runner's worker pool. Zero or negative means
 	// GOMAXPROCS; 1 forces serial execution.
 	Parallelism int
+	// Retries is the number of extra attempts a failing cell gets before its
+	// error becomes the cell's cached result. Zero retries once-and-done.
+	Retries int
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
 
 	mu     sync.Mutex
 	logMu  sync.Mutex
 	cache  map[string]*svmsim.Result
+	errs   map[string]error
 	flight map[string]*flight
 }
 
@@ -67,6 +71,9 @@ func (s *Suite) ensure() {
 	if s.cache == nil {
 		s.cache = make(map[string]*svmsim.Result)
 	}
+	if s.errs == nil {
+		s.errs = make(map[string]error)
+	}
 	if s.flight == nil {
 		s.flight = make(map[string]*flight)
 	}
@@ -88,15 +95,25 @@ func (s *Suite) app(w svmsim.Workload) svmsim.App {
 }
 
 func cfgKey(c svmsim.Config) string {
-	return fmt.Sprintf("p%d/n%d/ho%d/occ%d/io%g/intr%d/pg%d/mode%d/pol%d/all%v/req%d/nis%d/nisrv%v",
+	key := fmt.Sprintf("p%d/n%d/ho%d/occ%d/io%g/intr%d/pg%d/mode%d/pol%d/all%v/req%d/nis%d/nisrv%v",
 		c.Procs, c.ProcsPerNode, c.Net.HostOverheadCycles, c.Net.NIOccupancyCycles,
 		c.Net.IOBytesPerCycle, c.IntrHalfCostCycles, c.Proto.PageBytes, c.Proto.Mode,
 		c.IntrPolicy, c.Proto.AllLocal, c.Requests, c.NIsPerNode, c.NIServePages)
+	// Fault-injection and reliable-delivery cells must not collide with the
+	// pristine-network cells they are derived from.
+	if c.Net.Fault != nil || c.Net.Reliable.Enabled || c.MaxCycles != 0 || c.StallCheckCycles != 0 {
+		key += fmt.Sprintf("/flt[%s]/rel[%s]/wd%d-%d",
+			c.Net.Fault.Key(), c.Net.Reliable.Key(), c.MaxCycles, c.StallCheckCycles)
+	}
+	return key
 }
 
 // run executes (and caches) one workload on one configuration. It is safe
 // for concurrent use: the first caller for a key simulates while later
 // callers for the same key block on the shared flight and reuse its result.
+// A failing cell (error or panic) is retried up to Suite.Retries times; the
+// final error is cached too, so an error row renders once per sweep instead
+// of re-simulating for every table that shares the cell.
 func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, error) {
 	key := w.Name + "|" + cfgKey(cfg)
 	s.mu.Lock()
@@ -104,6 +121,10 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 	if r, ok := s.cache[key]; ok {
 		s.mu.Unlock()
 		return r.Run, nil
+	}
+	if err, ok := s.errs[key]; ok {
+		s.mu.Unlock()
+		return nil, err
 	}
 	if f, ok := s.flight[key]; ok {
 		s.mu.Unlock()
@@ -113,12 +134,24 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 	f := &flight{done: make(chan struct{})}
 	s.flight[key] = f
 	verbose := s.Verbose
+	retries := s.Retries
 	s.mu.Unlock()
 
-	if verbose != nil {
-		s.logf(verbose, "run %-12s %s\n", w.Name, cfgKey(cfg))
+	var res *svmsim.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		if verbose != nil {
+			if attempt == 0 {
+				s.logf(verbose, "run %-12s %s\n", w.Name, cfgKey(cfg))
+			} else {
+				s.logf(verbose, "retry %-10s %s (attempt %d: %v)\n", w.Name, cfgKey(cfg), attempt+1, err)
+			}
+		}
+		res, err = s.simulate(cfg, w)
+		if err == nil || attempt >= retries {
+			break
+		}
 	}
-	res, err := svmsim.Run(cfg, s.app(w))
 	if err != nil {
 		err = fmt.Errorf("%s on %s: %w", w.Name, cfgKey(cfg), err)
 	}
@@ -127,12 +160,26 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 	if err == nil {
 		s.cache[key] = res
 		f.run = res.Run
+	} else {
+		s.errs[key] = err
 	}
 	f.err = err
-	delete(s.flight, key) // errors are not cached; a later call may retry
+	delete(s.flight, key)
 	s.mu.Unlock()
 	close(f.done)
 	return f.run, f.err
+}
+
+// simulate executes one cell, converting a panic (in the simulator, protocol,
+// or application code) into an error so a single broken cell degrades to an
+// error row instead of taking down the whole sweep.
+func (s *Suite) simulate(cfg svmsim.Config, w svmsim.Workload) (res *svmsim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return svmsim.Run(cfg, s.app(w))
 }
 
 // logf serializes verbose progress lines from concurrent workers.
@@ -173,10 +220,13 @@ type Table struct {
 	Rows  []Row
 }
 
-// Row is one application's results.
+// Row is one application's results. A row with Err set renders the error
+// text in place of values: one failing cell degrades to an error row while
+// the rest of the table stands.
 type Row struct {
 	Name   string
 	Values []float64
+	Err    string
 }
 
 // String renders the table as aligned text.
@@ -212,6 +262,11 @@ func (t *Table) String() string {
 	b.WriteString("\n")
 	for i, r := range t.Rows {
 		fmt.Fprintf(&b, "%-*s", widths[0], r.Name)
+		if r.Err != "" {
+			fmt.Fprintf(&b, "  ERROR: %s", r.Err)
+			b.WriteString("\n")
+			continue
+		}
 		for j := range t.Cols {
 			v := ""
 			if j < len(cells[i]) {

@@ -67,12 +67,16 @@ func (r *Runner) Run(cells []Cell) error {
 		n = len(unique)
 	}
 	if n <= 1 {
+		// Same degraded-sweep semantics as the parallel path: every cell
+		// runs (failures become cached error rows), and the error reported
+		// is the first failing cell's in enumeration order.
+		var first error
 		for _, c := range unique {
-			if _, err := r.Suite.run(c.Cfg, c.W); err != nil {
-				return err
+			if _, err := r.Suite.run(c.Cfg, c.W); err != nil && first == nil {
+				first = err
 			}
 		}
-		return nil
+		return first
 	}
 
 	errs := make([]error, len(unique))

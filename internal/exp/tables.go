@@ -334,6 +334,7 @@ func (s *Suite) Experiments() []struct {
 		{"extensions", s.Extensions},
 		{"microbench", s.Microbench},
 		{"breakdown", s.Breakdown},
+		{"droprate", s.DropRate},
 	}
 }
 

@@ -12,7 +12,9 @@
 //   - hotalloc: no function literals passed to the engine's resume-target
 //     scheduling APIs (Delay, Unpark, Park, Spawn, At, Schedule)
 //   - units: engine.Time-typed exported fields and constants carry an explicit
-//     unit suffix, and +,-,comparison arithmetic never mixes unit suffixes
+//     unit suffix, numeric declarations named like quantities (timeouts,
+//     delays, backoff factors) do too, and +,-,comparison arithmetic never
+//     mixes unit suffixes
 //   - floatcmp: no floating-point ==/!= and no naive float accumulation in
 //     the statistics pipeline
 //
@@ -101,7 +103,7 @@ func Analyzers() []*Analyzer {
 		},
 		{
 			Name: "units",
-			Doc:  "enforces unit suffixes on engine.Time declarations and unit-consistent arithmetic",
+			Doc:  "enforces unit suffixes on engine.Time and quantity-named declarations, and unit-consistent arithmetic",
 			Run:  unitsRun,
 		},
 		{

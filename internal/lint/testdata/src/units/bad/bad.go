@@ -18,3 +18,14 @@ type Params struct {
 func (p Params) total() engine.Time {
 	return p.GapCycles + p.CtlBytes
 }
+
+// ReliableParams carries recovery knobs that name quantities without units:
+// an int timeout and a bare backoff factor are exactly the silent-unit bugs
+// the check exists for.
+type ReliableParams struct {
+	RetryTimeout  int
+	BackoffFactor int
+}
+
+// PollInterval is a plain numeric constant naming a quantity.
+const PollInterval uint64 = 1000

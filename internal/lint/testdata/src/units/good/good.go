@@ -25,3 +25,13 @@ func (p Params) scale(ratio engine.Time) engine.Time {
 func (p Params) sum() engine.Time {
 	return p.HostOverheadCycles + p.budget
 }
+
+// Recovery is recovery knobs done right: explicit cycle, percent and
+// per-mille units, and plural counters (not quantities) stay exempt.
+type Recovery struct {
+	RetryTimeoutCycles engine.Time
+	BackoffFactorPct   int
+	DropPerMille       int
+	TimeoutFires       uint64 // counter of timer expiries, not a duration
+	MaxRetries         int
+}

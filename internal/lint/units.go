@@ -10,22 +10,62 @@ import (
 // units enforces the naming convention that makes the simulator's
 // configuration self-documenting: every exported constant, variable and
 // struct field declared with type engine.Time must carry an explicit unit
-// suffix (Cycles, Ns, Bytes) or a rate marker ("Per", as in BytesPerCycle or
-// PollTaxPerMille). engine.Time is a type alias for uint64, so the type
-// system cannot tell a nanosecond from a cycle from a byte count — the name
-// is the only carrier of the unit, and the paper's parameter sweeps (host
-// overhead in cycles vs. link latency in ns before conversion) make silent
-// unit confusion a realistic bug class. As a second line of defense, additive
+// suffix (Cycles, Ns, Bytes, Pct, PerMille) or a rate marker ("Per", as in
+// BytesPerCycle or PollTaxPerMille). engine.Time is a type alias for uint64,
+// so the type system cannot tell a nanosecond from a cycle from a byte count
+// — the name is the only carrier of the unit, and the paper's parameter
+// sweeps (host overhead in cycles vs. link latency in ns before conversion)
+// make silent unit confusion a realistic bug class. Plain numeric
+// declarations whose name contains a quantity stem (Timeout, Latency, Delay,
+// Overhead, Occupancy, Interval, Backoff) are held to the same rule, so
+// recovery knobs like a retransmit timeout or an int backoff factor cannot
+// be introduced unitless either. As a second line of defense, additive
 // arithmetic and comparisons between two identifiers with *different*
 // recognized suffixes are flagged (multiplying or dividing is how units are
 // legitimately converted, so * and / are exempt).
 
 // unitSuffixes are the recognized unit markers, longest first.
-var unitSuffixes = []string{"Cycles", "Bytes", "Ns"}
+var unitSuffixes = []string{"PerMille", "Cycles", "Bytes", "Pct", "Ns"}
 
 // unitOK reports whether an engine.Time declaration name carries a unit.
 func unitOK(name string) bool {
 	return unitSuffix(name) != "" || strings.Contains(name, "Per")
+}
+
+// quantityStems mark names denoting a physical quantity (a time span, a cost,
+// a scale factor) regardless of the declared Go type: RetryTimeout and
+// BackoffFactor need a unit just as much as an engine.Time field does.
+var quantityStems = []string{"Timeout", "Latency", "Delay", "Overhead", "Occupancy", "Interval", "Backoff"}
+
+// quantityName reports whether a declaration name denotes a quantity that
+// must carry a unit. Plural names (TimeoutFires, QueueStalls) are event
+// counters, not quantities, and are exempt.
+func quantityName(name string) bool {
+	if strings.HasSuffix(name, "s") {
+		return false
+	}
+	for _, stem := range quantityStems {
+		if strings.Contains(name, stem) {
+			return true
+		}
+	}
+	return false
+}
+
+// unitsIsNumeric recognizes a plain numeric type expression (the declared
+// type of recovery knobs like an int backoff factor).
+func unitsIsNumeric(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "int", "int8", "int16", "int32", "int64",
+		"uint", "uint8", "uint16", "uint32", "uint64", "uintptr",
+		"float32", "float64":
+		return true
+	}
+	return false
 }
 
 // unitSuffix extracts the recognized unit suffix of a name, or "".
@@ -52,7 +92,11 @@ func unitsRun(pkg *Package, report reportFunc) {
 				}
 				for _, spec := range x.Specs {
 					vs, ok := spec.(*ast.ValueSpec)
-					if !ok || vs.Type == nil || !isTimeType(vs.Type) {
+					if !ok || vs.Type == nil {
+						continue
+					}
+					isTime := isTimeType(vs.Type)
+					if !isTime && !unitsIsNumeric(vs.Type) {
 						continue
 					}
 					kind := "constant"
@@ -60,8 +104,13 @@ func unitsRun(pkg *Package, report reportFunc) {
 						kind = "variable"
 					}
 					for _, name := range vs.Names {
-						if name.IsExported() && !unitOK(name.Name) {
+						if !name.IsExported() || unitOK(name.Name) {
+							continue
+						}
+						if isTime {
 							report(name.Pos(), "engine.Time %s %s has no unit suffix; name it with Cycles, Ns, Bytes or a Per-rate", kind, name.Name)
+						} else if quantityName(name.Name) {
+							report(name.Pos(), "numeric %s %s names a quantity without a unit; suffix it with Cycles, Ns, Bytes, Pct, PerMille or a Per-rate", kind, name.Name)
 						}
 					}
 				}
@@ -70,12 +119,18 @@ func unitsRun(pkg *Package, report reportFunc) {
 					return true
 				}
 				for _, field := range x.Fields.List {
-					if !isTimeType(field.Type) {
+					isTime := isTimeType(field.Type)
+					if !isTime && !unitsIsNumeric(field.Type) {
 						continue
 					}
 					for _, name := range field.Names {
-						if name.IsExported() && !unitOK(name.Name) {
+						if !name.IsExported() || unitOK(name.Name) {
+							continue
+						}
+						if isTime {
 							report(name.Pos(), "engine.Time field %s has no unit suffix; name it with Cycles, Ns, Bytes or a Per-rate", name.Name)
+						} else if quantityName(name.Name) {
+							report(name.Pos(), "numeric field %s names a quantity without a unit; suffix it with Cycles, Ns, Bytes, Pct, PerMille or a Per-rate", name.Name)
 						}
 					}
 				}

@@ -1,0 +1,172 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"svmsim/internal/engine"
+	"svmsim/internal/network"
+)
+
+// faultCfg is the small test cluster with 1% packet loss recovered by the
+// reliable-delivery layer.
+func faultCfg(dropPerMille int) Config {
+	c := base()
+	c.Net.Reliable = network.ReliableParams{Enabled: true}
+	if dropPerMille > 0 {
+		c.Net.Fault = &network.FaultPlan{
+			Seed:    1997,
+			Default: network.LinkFaults{DropPerMille: dropPerMille},
+		}
+	}
+	return c
+}
+
+// TestCoherentUnderPacketLoss: with 1% of wire transfers dropped and the
+// reliable layer recovering them, the lock/barrier/page machinery stays
+// coherent — the application computes the same answer as on a clean network.
+func TestCoherentUnderPacketLoss(t *testing.T) {
+	const per = 20
+	res, err := Run(faultCfg(10), counterApp(per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State.(counterState)
+	if got := counterValue(t, res, st.addr); got != 8*per {
+		t.Fatalf("counter=%d, want %d: protocol incoherent under packet loss", got, 8*per)
+	}
+	if res.Run.Net.Dropped == 0 || res.Run.Net.Retransmits == 0 {
+		t.Fatalf("faults not exercised: %+v", res.Run.Net)
+	}
+	// Recovery must cost time, not just counters: the faulty run is slower
+	// than the clean one.
+	clean, err := Run(faultCfg(0), counterApp(per))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Cycles <= clean.Run.Cycles {
+		t.Fatalf("recovery is free: faulty=%d clean=%d cycles", res.Run.Cycles, clean.Run.Cycles)
+	}
+}
+
+// TestGoldenDeterminismUnderFaults: a fixed seed and drop rate give
+// bit-identical end times and transport counters across runs — the property
+// every fault experiment's reproducibility rests on.
+func TestGoldenDeterminismUnderFaults(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(faultCfg(10), counterApp(15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Run.Cycles != b.Run.Cycles {
+		t.Fatalf("end times diverge: %d vs %d", a.Run.Cycles, b.Run.Cycles)
+	}
+	if a.Run.Net != b.Run.Net {
+		t.Fatalf("transport counters diverge:\n%+v\n%+v", a.Run.Net, b.Run.Net)
+	}
+	if a.Run.Net.Dropped == 0 {
+		t.Fatal("no faults injected; determinism check is vacuous")
+	}
+}
+
+// TestDeadLinkTerminatesWithLinkFailure: one link dropping every transfer
+// exhausts the retry budget and the run terminates promptly with a structured
+// *LinkFailureError naming the link — not a hang.
+func TestDeadLinkTerminatesWithLinkFailure(t *testing.T) {
+	cfg := faultCfg(0)
+	cfg.Net.Reliable.RetryTimeoutCycles = 10_000
+	cfg.Net.Reliable.MaxRetries = 3
+	cfg.Net.Fault = &network.FaultPlan{
+		Seed:  1,
+		Links: map[network.Link]network.LinkFaults{{Src: 0, Dst: 1}: {DropPerMille: 1000}},
+	}
+	res, err := Run(cfg, counterApp(10))
+	var lf *network.LinkFailureError
+	if !errors.As(err, &lf) {
+		t.Fatalf("want *LinkFailureError, got %v", err)
+	}
+	// The dead 0->1 wire starves both directions: data on 0->1, and acks for
+	// 1->0 traffic. Whichever side exhausts its budget first must name the
+	// node pair.
+	if !(lf.Src == 0 && lf.Dst == 1) && !(lf.Src == 1 && lf.Dst == 0) {
+		t.Fatalf("failure names link %d->%d, want the 0<->1 pair", lf.Src, lf.Dst)
+	}
+	if lf.Attempts != 4 {
+		t.Fatalf("attempts=%d, want 1 original + 3 retries", lf.Attempts)
+	}
+	// The transport counters survive the failed run: they are the diagnosis.
+	if res == nil || res.Run.Net.TimeoutFires == 0 {
+		t.Fatal("failed run lost its transport counters")
+	}
+}
+
+// TestRetransmitStormTrippedByWatchdog: with the retry budget disabled, a dead
+// link retransmits forever; the progress watchdog converts that livelock into
+// a *StallError carrying per-processor protocol breadcrumbs.
+func TestRetransmitStormTrippedByWatchdog(t *testing.T) {
+	cfg := faultCfg(0)
+	cfg.Net.Reliable.RetryTimeoutCycles = 5_000
+	cfg.Net.Reliable.MaxRetries = network.UnboundedRetries
+	cfg.Net.Fault = &network.FaultPlan{
+		Seed:  1,
+		Links: map[network.Link]network.LinkFaults{{Src: 0, Dst: 1}: {DropPerMille: 1000}},
+	}
+	cfg.MaxCycles = 5_000_000
+	_, err := Run(cfg, counterApp(10))
+	var se *engine.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StallError, got %v", err)
+	}
+	if len(se.Diagnostics) != 8 {
+		t.Fatalf("want one diagnostic per processor, got %v", se.Diagnostics)
+	}
+	for _, d := range se.Diagnostics {
+		if !strings.HasPrefix(d, "proc") {
+			t.Fatalf("malformed diagnostic %q", d)
+		}
+	}
+}
+
+// TestQuiescenceWatchdogOnFaultyRun: the quiescence check also catches the
+// storm, without needing a whole-run cycle budget.
+func TestQuiescenceWatchdogOnFaultyRun(t *testing.T) {
+	cfg := faultCfg(0)
+	cfg.Net.Reliable.RetryTimeoutCycles = 5_000
+	cfg.Net.Reliable.MaxRetries = network.UnboundedRetries
+	cfg.Net.Fault = &network.FaultPlan{
+		Seed:  1,
+		Links: map[network.Link]network.LinkFaults{{Src: 0, Dst: 1}: {DropPerMille: 1000}},
+	}
+	cfg.StallCheckCycles = 1_000_000
+	_, err := Run(cfg, counterApp(10))
+	var se *engine.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StallError, got %v", err)
+	}
+	if se.Reason != "no thread progress within quiescence window" {
+		t.Fatalf("bad reason %q", se.Reason)
+	}
+}
+
+// TestCleanConfigUnchanged: with no FaultPlan and reliable delivery off, the
+// transport counters stay zero — the new machinery is inert on the paper's
+// configurations.
+func TestCleanConfigUnchanged(t *testing.T) {
+	res, err := Run(base(), counterApp(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero struct {
+		Dropped, DupsInjected, Dups, Retransmits, AcksSent, NacksSent, TimeoutFires uint64
+	}
+	got := res.Run.Net
+	if got.Dropped != zero.Dropped || got.Retransmits != zero.Retransmits ||
+		got.AcksSent != zero.AcksSent || got.TimeoutFires != zero.TimeoutFires ||
+		got.Dups != zero.Dups || got.DupsInjected != zero.DupsInjected {
+		t.Fatalf("transport active on a clean config: %+v", got)
+	}
+}

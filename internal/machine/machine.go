@@ -47,6 +47,17 @@ type Config struct {
 	// MaxEvents bounds the run (livelock guard); zero uses the default.
 	MaxEvents uint64
 
+	// MaxCycles bounds simulated time (progress watchdog): a run whose
+	// event queue never drains — e.g. a retransmit storm on a faulty
+	// network — stops with a structured engine.StallError carrying
+	// per-processor diagnostics instead of spinning. Zero disables it.
+	MaxCycles engine.Time
+
+	// StallCheckCycles enables the engine's quiescence watchdog: a window
+	// of this many cycles with no thread progress while threads remain
+	// live is reported as a stall. Zero disables it.
+	StallCheckCycles engine.Time
+
 	// Trace, when non-nil, records time-stamped protocol events (see
 	// internal/trace); nil disables recording at zero cost.
 	Trace *trace.Recorder
@@ -129,6 +140,8 @@ func Run(cfg Config, app App) (*Result, error) {
 	}
 	sim := engine.New()
 	sim.MaxEvents = cfg.MaxEvents
+	sim.MaxCycles = cfg.MaxCycles
+	sim.StallCheckCycles = cfg.StallCheckCycles
 	nodes := cfg.Procs / cfg.ProcsPerNode
 	nodePrm := cfg.Node
 	poll := cfg.Poll
@@ -188,8 +201,40 @@ func Run(cfg Config, app App) (*Result, error) {
 			}
 		})
 	}
+	// On a stall, report where each processor last blocked (the protocol
+	// breadcrumb) and whether an interrupt handler holds it.
+	sim.OnStall = func() []string {
+		var diag []string
+		for gid, p := range sys.Procs {
+			where := p.Where
+			if where == "" {
+				where = "running"
+			}
+			if h := p.HandlerActive(); h > 0 {
+				where = fmt.Sprintf("%s [%d handlers active]", where, h)
+			}
+			diag = append(diag, fmt.Sprintf("proc%d: %s", gid, where))
+		}
+		return diag
+	}
+
 	res := &Result{Run: run, State: state, World: w}
-	if err := sim.Run(); err != nil {
+	err := sim.Run()
+	// Fold the NI transport counters into the run stats, on failures too —
+	// retransmit counts are part of a fault diagnosis.
+	for _, channel := range sys.NIs {
+		for _, ni := range channel {
+			run.Net.Dropped += ni.Dropped
+			run.Net.DupsInjected += ni.DupsInjected
+			run.Net.Dups += ni.Dups
+			run.Net.Retransmits += ni.Retransmits
+			run.Net.AcksSent += ni.AcksSent
+			run.Net.NacksSent += ni.NacksSent
+			run.Net.TimeoutFires += ni.TimeoutFires
+			run.Net.QueueStalls += ni.QueueStalls
+		}
+	}
+	if err != nil {
 		return res, fmt.Errorf("machine: %s: %w", app.Name, err)
 	}
 	run.Cycles = maxEnd

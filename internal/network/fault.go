@@ -1,0 +1,161 @@
+// Fault injection: a deterministic model of an *unreliable* interconnect.
+// The paper assumes a perfectly reliable Myrinet-like SAN; real SVM clusters
+// (and the user-level DSM systems that followed them) must tolerate packet
+// loss and recover at the NI or protocol layer. A FaultPlan describes, per
+// link and per message kind, the probability that a wire transfer is
+// dropped, duplicated, or delayed out of order. All decisions are drawn from
+// explicitly seeded per-NI generators, so a given (seed, plan, workload)
+// triple produces a bit-identical fault schedule on every run.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"svmsim/internal/engine"
+)
+
+// LinkFaults is the fault rates applied to one class of wire transfers.
+// Rates are in parts per thousand of transmitted messages.
+type LinkFaults struct {
+	// DropPerMille is the probability (‰) that a transfer is lost in
+	// flight: it consumes send-side NI occupancy and I/O-bus cycles but
+	// never arrives.
+	DropPerMille int
+	// DupPerMille is the probability (‰) that a transfer arrives twice
+	// (e.g. a switch retransmitting on a false CRC alarm).
+	DupPerMille int
+	// ReorderPerMille is the probability (‰) that a transfer is held in
+	// the fabric for an extra delay, letting later transfers overtake it.
+	ReorderPerMille int
+	// ReorderDelayCycles is the maximum extra in-fabric delay of a
+	// reordered transfer; the actual delay is drawn uniformly from
+	// [1, ReorderDelayCycles]. Zero disables reordering even when
+	// ReorderPerMille is set.
+	ReorderDelayCycles engine.Time
+}
+
+// zero reports whether no fault class is enabled.
+func (lf LinkFaults) zero() bool {
+	return lf.DropPerMille <= 0 && lf.DupPerMille <= 0 &&
+		(lf.ReorderPerMille <= 0 || lf.ReorderDelayCycles == 0)
+}
+
+func (lf LinkFaults) key() string {
+	return fmt.Sprintf("d%d,u%d,r%d@%d", lf.DropPerMille, lf.DupPerMille,
+		lf.ReorderPerMille, lf.ReorderDelayCycles)
+}
+
+// Link identifies one directed link (sending node -> receiving node).
+type Link struct {
+	Src, Dst int
+}
+
+// FaultPlan is a deterministic fault-injection schedule for the whole
+// network. A nil plan is the paper's perfectly reliable SAN. Precedence for
+// a given transfer: Kinds[kind] overrides Links[link] overrides Default.
+type FaultPlan struct {
+	// Seed seeds the per-NI deterministic generators. Two runs with the
+	// same seed, plan and workload inject faults at identical points.
+	Seed uint64
+	// Default applies to every transfer not matched by Links or Kinds.
+	Default LinkFaults
+	// Links overrides Default for specific directed links.
+	Links map[Link]LinkFaults
+	// Kinds overrides both for specific message kinds (transport acks and
+	// nacks are kinds too, so recovery traffic can itself be faulted).
+	Kinds map[Kind]LinkFaults
+}
+
+// faultsFor resolves the effective fault rates for one transfer.
+func (fp *FaultPlan) faultsFor(src, dst int, kind Kind) LinkFaults {
+	lf := fp.Default
+	if fp.Links != nil {
+		if v, ok := fp.Links[Link{Src: src, Dst: dst}]; ok {
+			lf = v
+		}
+	}
+	if fp.Kinds != nil {
+		if v, ok := fp.Kinds[kind]; ok {
+			lf = v
+		}
+	}
+	return lf
+}
+
+// Key returns a deterministic textual descriptor of the plan, used by
+// experiment memo caches to distinguish configurations. Map entries are
+// emitted in sorted order so the key never depends on map iteration order.
+func (fp *FaultPlan) Key() string {
+	if fp == nil {
+		return "off"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d:%s", fp.Seed, fp.Default.key())
+	links := make([]Link, 0, len(fp.Links))
+	for l := range fp.Links {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Src != links[j].Src {
+			return links[i].Src < links[j].Src
+		}
+		return links[i].Dst < links[j].Dst
+	})
+	for _, l := range links {
+		fmt.Fprintf(&b, ";l%d-%d:%s", l.Src, l.Dst, fp.Links[l].key())
+	}
+	kinds := make([]int, 0, len(fp.Kinds))
+	for k := range fp.Kinds {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, ";k%d:%s", k, fp.Kinds[Kind(k)].key())
+	}
+	return b.String()
+}
+
+// splitmix64 is the SplitMix64 mixing function, used to derive independent
+// per-NI seeds from the plan seed without correlation between adjacent IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// faultRNG builds the deterministic generator for one NI.
+func (fp *FaultPlan) faultRNG(nodeID int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(fp.Seed + uint64(nodeID)*0x9e3779b9))))
+}
+
+// inject applies the plan to one wire transfer leaving ni. It returns the
+// number of copies to put on the wire (0 = dropped, 2 = duplicated) and any
+// extra in-fabric delay. The generator is consumed in a fixed order (drop,
+// dup, reorder) so the schedule depends only on the transfer sequence.
+func (ni *NI) inject(m *Message) (copies int, extraCycles engine.Time) {
+	plan := ni.params.Fault
+	if plan == nil || ni.rng == nil {
+		return 1, 0
+	}
+	lf := plan.faultsFor(m.Src, m.Dst, m.Kind)
+	if lf.zero() {
+		return 1, 0
+	}
+	copies = 1
+	if lf.DropPerMille > 0 && ni.rng.Intn(1000) < lf.DropPerMille {
+		ni.Dropped++
+		return 0, 0
+	}
+	if lf.DupPerMille > 0 && ni.rng.Intn(1000) < lf.DupPerMille {
+		ni.DupsInjected++
+		copies = 2
+	}
+	if lf.ReorderPerMille > 0 && lf.ReorderDelayCycles > 0 && ni.rng.Intn(1000) < lf.ReorderPerMille {
+		extraCycles = 1 + engine.Time(ni.rng.Int63n(int64(lf.ReorderDelayCycles)))
+	}
+	return copies, extraCycles
+}

@@ -1,0 +1,235 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"svmsim/internal/engine"
+)
+
+// faultRun drives n sequenced messages from node 0 to node 1 under the given
+// plan and reliable parameters, returning the delivery order, the end time
+// and both NIs for counter inspection.
+func faultRun(t *testing.T, n int, plan *FaultPlan, rel ReliableParams) (order []int, end engine.Time, a, b *NI, err error) {
+	t.Helper()
+	s := engine.New()
+	p := testParams()
+	p.Fault = plan
+	p.Reliable = rel
+	a, b = pair(s, p, func(_ *engine.Thread, m *Message) {
+		order = append(order, m.Payload.(int))
+	})
+	s.Spawn("sender", func(th *engine.Thread) {
+		for i := 0; i < n; i++ {
+			a.Post(th, &Message{Kind: Diff, Src: 0, Dst: 1, Size: 256, Payload: i})
+			th.Delay(100)
+		}
+	})
+	err = s.Run()
+	end = s.Now()
+	return order, end, a, b, err
+}
+
+// TestFaultInjectionDrops: with faults injected and no recovery layer,
+// messages are genuinely lost — the failure mode the reliable layer exists
+// for.
+func TestFaultInjectionDrops(t *testing.T) {
+	plan := &FaultPlan{Seed: 7, Default: LinkFaults{DropPerMille: 500}}
+	order, _, a, _, err := faultRun(t, 40, plan, ReliableParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dropped == 0 {
+		t.Fatal("no drops injected at 50% drop rate")
+	}
+	if len(order)+int(a.Dropped) != 40 {
+		t.Fatalf("conservation violated: %d delivered + %d dropped != 40", len(order), a.Dropped)
+	}
+}
+
+// TestFaultScheduleDeterministic: the same seed and plan produce bit-identical
+// runs — same delivery schedule, same end time, same counters.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	run := func() ([]int, engine.Time, uint64, uint64, uint64) {
+		plan := &FaultPlan{Seed: 42, Default: LinkFaults{
+			DropPerMille: 200, DupPerMille: 100,
+			ReorderPerMille: 100, ReorderDelayCycles: 5000,
+		}}
+		rel := ReliableParams{Enabled: true, RetryTimeoutCycles: 20_000, MaxRetries: UnboundedRetries}
+		order, end, a, b, err := faultRun(t, 60, plan, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order, end, a.Dropped, a.Retransmits, b.AcksSent
+	}
+	o1, e1, d1, r1, ack1 := run()
+	o2, e2, d2, r2, ack2 := run()
+	if e1 != e2 || d1 != d2 || r1 != r2 || ack1 != ack2 {
+		t.Fatalf("runs diverge: end %d/%d dropped %d/%d retx %d/%d acks %d/%d",
+			e1, e2, d1, d2, r1, r2, ack1, ack2)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("delivery counts diverge: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("delivery order diverges at %d: %v vs %v", i, o1, o2)
+		}
+	}
+	if d1 == 0 || r1 == 0 {
+		t.Fatalf("fault schedule inactive: dropped=%d retransmits=%d", d1, r1)
+	}
+}
+
+// TestReliableRecoversDrops: under heavy loss the reliable layer delivers
+// every message exactly once and in order.
+func TestReliableRecoversDrops(t *testing.T) {
+	plan := &FaultPlan{Seed: 3, Default: LinkFaults{DropPerMille: 300}}
+	rel := ReliableParams{Enabled: true, RetryTimeoutCycles: 20_000, MaxRetries: UnboundedRetries}
+	order, _, a, _, err := faultRun(t, 50, plan, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 50 {
+		t.Fatalf("delivered %d/50", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, order)
+		}
+	}
+	if a.Dropped == 0 || a.Retransmits == 0 || a.TimeoutFires == 0 {
+		t.Fatalf("recovery not exercised: dropped=%d retx=%d timers=%d",
+			a.Dropped, a.Retransmits, a.TimeoutFires)
+	}
+}
+
+// TestReliableRecoversDupsAndReorder: duplicates are discarded and reordered
+// arrivals are resequenced, preserving the exactly-once in-order contract the
+// SVM protocol layer assumes.
+func TestReliableRecoversDupsAndReorder(t *testing.T) {
+	plan := &FaultPlan{Seed: 11, Default: LinkFaults{
+		DupPerMille: 300, ReorderPerMille: 300, ReorderDelayCycles: 50_000,
+	}}
+	rel := ReliableParams{Enabled: true, RetryTimeoutCycles: 30_000, MaxRetries: UnboundedRetries}
+	order, _, a, b, err := faultRun(t, 50, plan, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 50 {
+		t.Fatalf("delivered %d/50", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, order)
+		}
+	}
+	if a.DupsInjected == 0 {
+		t.Fatal("no duplicates injected at 30% dup rate")
+	}
+	if b.Dups == 0 {
+		t.Fatal("receiver discarded no duplicates")
+	}
+}
+
+// TestDeadLinkFailsStructured: a link dropping everything exhausts the retry
+// budget and surfaces a structured *LinkFailureError — it does not hang or
+// retransmit forever.
+func TestDeadLinkFailsStructured(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, Default: LinkFaults{DropPerMille: 1000}}
+	rel := ReliableParams{Enabled: true, RetryTimeoutCycles: 1000, MaxRetries: 3}
+	_, _, _, _, err := faultRun(t, 1, plan, rel)
+	var lf *LinkFailureError
+	if !errors.As(err, &lf) {
+		t.Fatalf("want *LinkFailureError, got %v", err)
+	}
+	if lf.Src != 0 || lf.Dst != 1 || lf.Kind != Diff || lf.Seq != 1 {
+		t.Fatalf("bad failure fields: %+v", lf)
+	}
+	if lf.Attempts != 4 { // 1 original + MaxRetries retransmissions
+		t.Fatalf("attempts=%d, want 4", lf.Attempts)
+	}
+}
+
+// TestPerLinkAndPerKindPrecedence: Kinds overrides Links overrides Default.
+func TestPerLinkAndPerKindPrecedence(t *testing.T) {
+	plan := &FaultPlan{
+		Seed:    5,
+		Default: LinkFaults{DropPerMille: 1000},
+		Links:   map[Link]LinkFaults{{Src: 0, Dst: 1}: {}},
+	}
+	// The 0->1 link override disables the default: everything delivers.
+	order, _, _, _, err := faultRun(t, 10, plan, ReliableParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 10 {
+		t.Fatalf("link override ignored: delivered %d/10", len(order))
+	}
+
+	// A kind override re-enables dropping for Diff even on the clean link.
+	plan.Kinds = map[Kind]LinkFaults{Diff: {DropPerMille: 1000}}
+	order, _, _, _, err = faultRun(t, 10, plan, ReliableParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 0 {
+		t.Fatalf("kind override ignored: delivered %d/10", len(order))
+	}
+}
+
+// TestReliableNoFaultsExactlyOnce: the reliable layer on a clean network is
+// invisible to the protocol (exactly-once, in-order) while paying real ack
+// traffic.
+func TestReliableNoFaultsExactlyOnce(t *testing.T) {
+	rel := ReliableParams{Enabled: true}
+	order, _, a, b, err := faultRun(t, 20, nil, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 20 {
+		t.Fatalf("delivered %d/20", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, order)
+		}
+	}
+	if b.AcksSent == 0 {
+		t.Fatal("no acks on an acked transport")
+	}
+	if a.Retransmits != 0 || a.Dropped != 0 {
+		t.Fatalf("phantom recovery on a clean network: retx=%d dropped=%d", a.Retransmits, a.Dropped)
+	}
+}
+
+// TestQueueStallsCountOncePerPost is the regression test for the QueueStalls
+// over-count: a post that waits through several queue-space wakeups is one
+// stalled post, not one stall per wakeup.
+func TestQueueStallsCountOncePerPost(t *testing.T) {
+	s := engine.New()
+	p := testParams()
+	p.QueueBytes = 8192
+	p.HostOverheadCycles = 0
+	p.NIOccupancyCycles = 50_000 // slow drain: the queue empties one message at a time
+	delivered := 0
+	a, _ := pair(s, p, func(_ *engine.Thread, m *Message) { delivered++ })
+	s.Spawn("sender", func(th *engine.Thread) {
+		// Three small messages fill the queue (3 x 2032 wire bytes), then one
+		// large post (8128 wire bytes) must wait for all three drains before
+		// it fits: several wakeups, one stalled post.
+		for i := 0; i < 3; i++ {
+			a.Post(th, &Message{Kind: Diff, Src: 0, Dst: 1, Size: 2000})
+		}
+		a.Post(th, &Message{Kind: PageReply, Src: 0, Dst: 1, Size: 8000})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 4 {
+		t.Fatalf("delivered %d/4", delivered)
+	}
+	if a.QueueStalls != 1 {
+		t.Fatalf("QueueStalls=%d, want 1 (one stalled post)", a.QueueStalls)
+	}
+}

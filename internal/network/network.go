@@ -12,6 +12,7 @@ package network
 
 import (
 	"fmt"
+	"math/rand"
 
 	"svmsim/internal/engine"
 	"svmsim/internal/memsys"
@@ -46,12 +47,20 @@ const (
 	BarrierArrive
 	// BarrierRelease releases the nodes from a barrier (deposit).
 	BarrierRelease
+	// TransportAck is the reliable-delivery layer's cumulative ack. It is
+	// NI-internal: consumed by the transport filter, never delivered to
+	// the protocol.
+	TransportAck
+	// TransportNack asks the sender to fast-retransmit a missing
+	// sequence (gap detected by the resequencing receiver). NI-internal.
+	TransportNack
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"page-request", "page-reply", "lock-request", "lock-grant", "lock-owner",
 	"diff", "diff-ack", "update", "update-ack", "barrier-arrive", "barrier-release",
+	"xport-ack", "xport-nack",
 }
 
 // String returns the kind's wire name.
@@ -76,6 +85,12 @@ type Message struct {
 	// deposit-completion time) after the message has been deposited and the
 	// deliver upcall returned. Protocol code uses it for completion fences.
 	OnDelivered func()
+
+	// seq is the reliable-delivery sequence number on this (src, dst)
+	// pair, assigned by the sending NI at first transmission (zero until
+	// then). For transport control packets it carries the cumulative-ack
+	// or nacked sequence instead.
+	seq uint64
 }
 
 // Params are the communication-architecture parameters of the network (the
@@ -109,6 +124,14 @@ type Params struct {
 	// default 1 MB (which, per the paper, is never a bottleneck except
 	// under AURC update floods).
 	QueueBytes int
+
+	// Fault injects deterministic packet loss, duplication and reordering
+	// (see FaultPlan). Nil is the paper's perfectly reliable SAN.
+	Fault *FaultPlan
+
+	// Reliable configures the ack/retransmit recovery layer (see
+	// ReliableParams). Disabled, every injected fault is unrecovered.
+	Reliable ReliableParams
 }
 
 // queueBytes returns the effective outgoing queue bound.
@@ -184,16 +207,32 @@ type NI struct {
 	// the message is deposited in host memory.
 	deliver func(t *engine.Thread, m *Message)
 
-	// MsgsSent, BytesSent, MsgsRecv, BytesRecv count wire traffic;
-	// QueueStalls counts posts delayed by a full outgoing queue.
+	// rng drives this NI's deterministic fault-injection schedule (nil
+	// without a FaultPlan).
+	rng *rand.Rand
+	// relPeers is the per-peer reliable-delivery state (lazily built).
+	relPeers []*relPeer
+	// seqBuf is the scratch buffer intake hands in-order batches back in.
+	seqBuf []*Message
+
+	// MsgsSent, BytesSent, MsgsRecv, BytesRecv count wire traffic
+	// (including retransmissions and transport control packets);
+	// QueueStalls counts posts delayed by a full outgoing queue (once per
+	// stalled post, however long it waits).
 	MsgsSent, BytesSent, MsgsRecv, BytesRecv, QueueStalls uint64
+
+	// Fault-injection and recovery counters. Dropped and DupsInjected
+	// count faults this NI's send side injected; Dups counts duplicates
+	// its receive side discarded; Retransmits, AcksSent, NacksSent and
+	// TimeoutFires account the recovery layer's work.
+	Dropped, DupsInjected, Dups, Retransmits, AcksSent, NacksSent, TimeoutFires uint64
 }
 
 // NewNI creates the NI for node nodeID. Wire the full peer set with SetPeers
 // before posting.
 func NewNI(s *engine.Sim, nodeID int, params *Params, ioBus *engine.Resource, memBus *memsys.Bus,
 	deliver func(t *engine.Thread, m *Message)) *NI {
-	return &NI{
+	ni := &NI{
 		sim:       s,
 		nodeID:    nodeID,
 		params:    params,
@@ -204,6 +243,10 @@ func NewNI(s *engine.Sim, nodeID int, params *Params, ioBus *engine.Resource, me
 		sendSpace: engine.NewCond(s),
 		deliver:   deliver,
 	}
+	if params.Fault != nil {
+		ni.rng = params.Fault.faultRNG(nodeID)
+	}
+	return ni
 }
 
 // SetPeers wires the cluster's NIs together (index = node ID).
@@ -233,8 +276,15 @@ func (ni *NI) Post(t *engine.Thread, m *Message) {
 	}
 	wire := ni.params.WireBytes(m.Size)
 	if t != nil {
+		stalled := false
 		for ni.sendQBytes+wire > ni.params.queueBytes() && len(ni.sendQ) > 0 {
-			ni.QueueStalls++
+			if !stalled {
+				// Count the stalled post once, not once per Wait wakeup:
+				// a single post can be woken and re-blocked many times
+				// while the queue drains.
+				stalled = true
+				ni.QueueStalls++
+			}
 			ni.sendSpace.Wait(t)
 		}
 	}
@@ -264,7 +314,9 @@ func (ni *NI) startSender() {
 // transmit runs the send-side pipeline for one message: per-packet NI
 // occupancy, DMA of the data from host memory over the memory bus (highest
 // priority, per the paper's arbitration order), and the I/O bus crossing.
-// Then the message flies over the contention-free link.
+// Then the message flies over the contention-free link — through the fault
+// plan, which may drop, duplicate or delay it. Retransmissions re-enter here
+// and pay the full pipeline again.
 func (ni *NI) transmit(t *engine.Thread, m *Message) {
 	p := ni.params
 	wire := p.WireBytes(m.Size)
@@ -285,13 +337,27 @@ func (ni *NI) transmit(t *engine.Thread, m *Message) {
 	if c := p.ioCycles(wire); c > 0 {
 		ni.ioBus.Use(t, 0, c)
 	}
-	// Link flight: contention-free, latency + serialization.
+	// Reliable delivery: sequence the message and arm its retransmit timer
+	// (counted from the moment it reaches the wire).
+	if p.Reliable.Enabled && !isTransport(m.Kind) {
+		if pt := ni.track(m); pt != nil {
+			ni.armTimer(pt)
+		}
+	}
+	// Link flight: contention-free, latency + serialization, subject to
+	// fault injection. Delivery is a typed event (the destination NI is
+	// its own event target), so wire flight allocates nothing per packet.
+	flight := p.LinkLatencyCycles + p.linkCycles(wire)
 	dst := ni.peers[m.Dst]
-	//svmlint:ignore hotalloc per-packet wire-flight callback; known allocation, tracked as a ROADMAP item
-	ni.sim.At(p.LinkLatencyCycles+p.linkCycles(wire), func() {
-		dst.arrive(m)
-	})
+	copies, extra := ni.inject(m)
+	for i := 0; i < copies; i++ {
+		ni.sim.AtTarget(flight+extra, dst, m)
+	}
 }
+
+// HandleEvent implements engine.EventTarget: a message finishing its wire
+// flight toward this NI.
+func (ni *NI) HandleEvent(arg any) { ni.arrive(arg.(*Message)) }
 
 // arrive queues a message on the receive side.
 func (ni *NI) arrive(m *Message) {
@@ -315,9 +381,10 @@ func (ni *NI) startReceiver() {
 	})
 }
 
-// receive runs the receive-side pipeline: per-packet occupancy, I/O bus
-// crossing, and deposit into host memory over the memory bus at the lowest
-// arbitration priority. Then the protocol upcall runs.
+// receive runs the receive-side pipeline: per-packet occupancy and the I/O
+// bus crossing are paid for every arrival (the packet crossed the wire, real
+// or duplicate). With reliable delivery on, the transport filter then
+// dedups, resequences and acks; only in-order messages are deposited.
 func (ni *NI) receive(t *engine.Thread, m *Message) {
 	p := ni.params
 	wire := p.WireBytes(m.Size)
@@ -331,8 +398,20 @@ func (ni *NI) receive(t *engine.Thread, m *Message) {
 	if c := p.ioCycles(wire); c > 0 {
 		ni.ioBus.Use(t, 0, c)
 	}
+	if p.Reliable.Enabled {
+		for _, rm := range ni.intake(m) {
+			ni.deposit(t, rm)
+		}
+		return
+	}
+	ni.deposit(t, m)
+}
+
+// deposit writes a message into host memory over the memory bus (lowest
+// arbitration priority) and runs the protocol upcall and completion fence.
+func (ni *NI) deposit(t *engine.Thread, m *Message) {
 	if m.Size > 0 {
-		ni.memBus.DMA(t, memsys.PrioNIIn, m.Size, p.MaxPacketBytes)
+		ni.memBus.DMA(t, memsys.PrioNIIn, m.Size, ni.params.MaxPacketBytes)
 	}
 	if ni.deliver != nil {
 		ni.deliver(t, m)

@@ -127,7 +127,8 @@ const (
 
 // Notice is a write notice: pages written by Origin during Interval.
 type Notice struct {
-	Origin   int32
+	Origin int32
+	//svmlint:ignore units LRC interval number: an epoch ordinal, not a duration
 	Interval uint32
 	Pages    []int32
 }

@@ -78,6 +78,20 @@ func (p *Proc) Total() uint64 {
 	return t
 }
 
+// Net aggregates the cluster's NI transport counters: injected faults and
+// the recovery layer's work (see internal/network). All zero on a perfectly
+// reliable network.
+type Net struct {
+	// Dropped and DupsInjected count faults injected at the send side;
+	// Dups counts duplicates discarded at the receive side.
+	Dropped, DupsInjected, Dups uint64
+	// Retransmits, AcksSent, NacksSent and TimeoutFires account the
+	// reliable-delivery layer's recovery traffic and timer activity.
+	Retransmits, AcksSent, NacksSent, TimeoutFires uint64
+	// QueueStalls counts posts delayed by a full outgoing NI queue.
+	QueueStalls uint64
+}
+
 // Run aggregates a whole simulation run.
 type Run struct {
 	Procs []Proc
@@ -86,6 +100,8 @@ type Run struct {
 	// NodeCount and ProcsPerNode record the configuration.
 	NodeCount    int
 	ProcsPerNode int
+	// Net is the cluster-wide network fault/recovery summary.
+	Net Net
 }
 
 // NewRun creates a Run for n processors.

@@ -34,8 +34,10 @@ import (
 	"svmsim/internal/apps/raytrace"
 	"svmsim/internal/apps/volrend"
 	"svmsim/internal/apps/water"
+	"svmsim/internal/engine"
 	"svmsim/internal/interrupts"
 	"svmsim/internal/machine"
+	"svmsim/internal/network"
 	"svmsim/internal/proto"
 	"svmsim/internal/shm"
 	"svmsim/internal/stats"
@@ -90,6 +92,30 @@ const (
 
 // PollParams configures the polling / dedicated-processor schemes.
 type PollParams = interrupts.PollParams
+
+// Fault-injection and reliable-delivery configuration (Config.Net.Fault and
+// Config.Net.Reliable; see internal/network). A FaultPlan injects
+// deterministic packet drops, duplicates and reorder delays; ReliableParams
+// layers ack/retransmit recovery on the NI pipeline.
+type (
+	// FaultPlan is a deterministic fault-injection schedule.
+	FaultPlan = network.FaultPlan
+	// LinkFaults is the per-link/per-kind fault rates of a FaultPlan.
+	LinkFaults = network.LinkFaults
+	// Link names one directed link in a FaultPlan.
+	Link = network.Link
+	// ReliableParams configures the ack/retransmit recovery layer.
+	ReliableParams = network.ReliableParams
+	// LinkFailureError reports a message exhausting its retry budget.
+	LinkFailureError = network.LinkFailureError
+	// StallError reports the progress watchdog firing (see Config.MaxCycles).
+	StallError = engine.StallError
+)
+
+// UnboundedRetries disables the reliable layer's retry budget (see
+// ReliableParams.MaxRetries); only the progress watchdog then bounds a dead
+// link.
+const UnboundedRetries = network.UnboundedRetries
 
 // TraceRecorder records time-stamped protocol events when attached to
 // Config.Trace (see internal/trace for the analysis helpers).
