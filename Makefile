@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-engine experiments faults
+.PHONY: check vet lint build test race chaos bench bench-engine experiments faults
 
-check: vet lint build test race
+check: vet lint build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,12 @@ test:
 # livelock regressions must fail fast instead of hanging.
 race:
 	$(GO) test -race -timeout 10m ./internal/exp/... ./internal/engine/... ./internal/network/... ./internal/proto/...
+
+# Crash-stop smoke: the node-crash sweep on a small topology under the race
+# detector — heartbeat detection, recovery and degraded-mode completion end
+# to end, in well under a minute.
+chaos:
+	$(GO) run -race ./cmd/experiments -only nodecrash -procs 4 -ppn 2
 
 # Single-run and suite-level throughput benchmarks (before/after numbers for
 # EXPERIMENTS.md).

@@ -27,6 +27,7 @@ func main() {
 		size     = flag.String("size", "small", "problem size: small or default")
 		mode     = flag.String("mode", "hlrc", "protocol: hlrc or aurc")
 		parallel = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache-dir", "", "persist finished cells to this directory and reuse them across runs")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -37,6 +38,7 @@ func main() {
 	}
 	s := exp.NewSuite(sizes)
 	s.Parallelism = *parallel
+	s.CacheDir = *cacheDir
 	if *verbose {
 		s.Verbose = os.Stderr
 	}

@@ -122,6 +122,7 @@ type Sim struct {
 	yield   chan struct{} // thread -> scheduler handoff
 	killed  chan struct{} // closed to unwind parked threads on teardown
 	dead    bool
+	stopped bool  // set by Stop; Run ends after the current dispatch
 	failure error // set when a thread panics; Run stops and reports it
 
 	// MaxEvents bounds the number of dispatched events as a livelock guard.
@@ -199,6 +200,31 @@ func (s *Sim) Fail(err error) {
 	if s.failure == nil && err != nil {
 		s.failure = err
 	}
+}
+
+// Stop requests an orderly end of the run: Run returns nil after the current
+// event finishes dispatching, regardless of remaining events or live threads.
+// Model code uses it when the simulation can no longer drain naturally — e.g.
+// periodic timers that re-arm forever, or threads belonging to a crashed node
+// that will never resume — but the run itself has completed its useful work.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Kill removes thread t from the simulation: it never runs again, pending
+// events targeting it are ignored at dispatch, and its goroutine unwinds at
+// teardown. It models the threads of a crash-stopped node. Kill must not be
+// called on the currently running thread; resources the thread holds are NOT
+// released (a crashed node's local resources wedge with it, which is the
+// intended crash-stop semantics — killed threads must not hold resources
+// shared with surviving nodes).
+func (s *Sim) Kill(t *Thread) {
+	if t == nil || t.done {
+		return
+	}
+	if t == s.current {
+		panic(fmt.Sprintf("engine: Kill of the running thread %q", t.name))
+	}
+	t.done = true
+	delete(s.live, t)
 }
 
 // scheduleThread enqueues a closure-free thread event. Events are values in
@@ -465,6 +491,10 @@ func (s *Sim) Run() error {
 			err := s.failure
 			s.teardown()
 			return err
+		}
+		if s.stopped {
+			s.teardown()
+			return nil
 		}
 	}
 	if len(s.live) > 0 {

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+
+	"svmsim"
+)
+
+// cacheEntry is the on-disk form of one memoized cell: the full cell key (a
+// collision/truncation guard — the filename is only its hash), and either
+// the run statistics or the rendered error, exactly as the in-memory memo
+// would hold them. The simulator is deterministic, so entries never go
+// stale for a given key; changing any configuration field changes the key.
+type cacheEntry struct {
+	Key string
+	Run *svmsim.RunStats `json:",omitempty"`
+	Err string           `json:",omitempty"`
+}
+
+// cellPath maps a cell key to its spill file. Keys embed workload names and
+// free-form plan strings, so the filename is a digest rather than the key.
+func cellPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// loadCell reads a spilled cell. Any defect — missing file, torn or corrupt
+// JSON, a digest collision — is a plain cache miss: the caller re-simulates
+// and overwrites the entry.
+func (s *Suite) loadCell(key string) (*svmsim.RunStats, error, bool) {
+	data, err := os.ReadFile(cellPath(s.CacheDir, key))
+	if err != nil {
+		return nil, nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key {
+		return nil, nil, false
+	}
+	if e.Err != "" {
+		return nil, errors.New(e.Err), true
+	}
+	if e.Run == nil {
+		return nil, nil, false
+	}
+	return e.Run, nil, true
+}
+
+// spillCell writes one finished cell atomically: marshal to a unique temp
+// file in the cache directory, then rename over the final path, so a reader
+// (or a concurrent sweep sharing the directory) sees either the old entry or
+// the complete new one, never a torn write. Spill failures are deliberately
+// silent — the disk cache is an accelerator, not a correctness layer, and
+// the in-memory memo already holds the result.
+func (s *Suite) spillCell(key string, run *svmsim.RunStats, runErr error) {
+	e := cacheEntry{Key: key, Run: run}
+	if runErr != nil {
+		e.Err = runErr.Error()
+		e.Run = nil
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return
+	}
+	if os.MkdirAll(s.CacheDir, 0o755) != nil {
+		return
+	}
+	f, err := os.CreateTemp(s.CacheDir, "cell-*.tmp")
+	if err != nil {
+		return
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if f.Close() != nil {
+		os.Remove(tmp)
+		return
+	}
+	if os.Rename(tmp, cellPath(s.CacheDir, key)) != nil {
+		os.Remove(tmp)
+	}
+}

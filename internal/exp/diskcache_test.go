@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiskCacheRoundTrip: a fresh suite pointed at a warm cache directory
+// reproduces the first suite's results without simulating anything.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := tinyWorkload("tiny")
+
+	warm := smallSuite(1)
+	warm.CacheDir = dir
+	first, err := warm.run(warm.Base(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 spilled cell, got %v", files)
+	}
+
+	cold := smallSuite(1)
+	cold.CacheDir = dir
+	var log bytes.Buffer
+	cold.Verbose = &log
+	second, err := cold.run(cold.Base(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cycles != first.Cycles {
+		t.Fatalf("disk result diverges: %d vs %d cycles", second.Cycles, first.Cycles)
+	}
+	if strings.Count(log.String(), "run ") != 0 {
+		t.Fatalf("warm cache still simulated:\n%s", log.String())
+	}
+	if strings.Count(log.String(), "disk ") != 1 {
+		t.Fatalf("disk hit not taken:\n%s", log.String())
+	}
+}
+
+// TestDiskCachePersistsErrors: a failing cell's error is spilled too, so a
+// later sweep renders the same error row without re-paying the simulation.
+func TestDiskCachePersistsErrors(t *testing.T) {
+	dir := t.TempDir()
+	w := panicWorkload("bomb")
+
+	warm := smallSuite(1)
+	warm.CacheDir = dir
+	_, err1 := warm.run(warm.Base(), w)
+	if err1 == nil {
+		t.Fatal("panic cell succeeded")
+	}
+
+	cold := smallSuite(1)
+	cold.CacheDir = dir
+	var log bytes.Buffer
+	cold.Verbose = &log
+	_, err2 := cold.run(cold.Base(), w)
+	if err2 == nil {
+		t.Fatal("cached error lost")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("cached error text diverges:\n%v\nvs\n%v", err1, err2)
+	}
+	if strings.Count(log.String(), "run ") != 0 {
+		t.Fatalf("error cell re-simulated:\n%s", log.String())
+	}
+}
+
+// TestDiskCacheToleratesCorruption: a torn or garbage entry is a plain miss —
+// the cell re-simulates and the entry is overwritten with a valid one.
+func TestDiskCacheToleratesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	w := tinyWorkload("tiny")
+
+	warm := smallSuite(1)
+	warm.CacheDir = dir
+	first, err := warm.run(warm.Base(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 spilled cell, got %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := smallSuite(1)
+	cold.CacheDir = dir
+	second, err := cold.run(cold.Base(), w)
+	if err != nil {
+		t.Fatalf("corrupt entry broke the cell: %v", err)
+	}
+	if second.Cycles != first.Cycles {
+		t.Fatalf("re-simulated result diverges: %d vs %d", second.Cycles, first.Cycles)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil || !strings.Contains(string(data), "\"Key\"") {
+		t.Fatalf("corrupt entry not repaired: %v %q", err, data)
+	}
+}

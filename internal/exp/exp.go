@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -42,6 +43,12 @@ type Suite struct {
 	// Retries is the number of extra attempts a failing cell gets before its
 	// error becomes the cell's cached result. Zero retries once-and-done.
 	Retries int
+	// CacheDir, when non-empty, persists every finished cell (result or
+	// error) to this directory so later sweeps — including other processes —
+	// start from the accumulated results instead of re-simulating. Entries
+	// are keyed by the same content key as the in-memory memo and written
+	// atomically (temp file + rename); see diskcache.go.
+	CacheDir string
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
 
@@ -105,6 +112,13 @@ func cfgKey(c svmsim.Config) string {
 		key += fmt.Sprintf("/flt[%s]/rel[%s]/wd%d-%d",
 			c.Net.Fault.Key(), c.Net.Reliable.Key(), c.MaxCycles, c.StallCheckCycles)
 	}
+	// Crash-plan and failure-detector cells likewise get their own keys;
+	// clean configurations keep the exact key they had before crashes
+	// existed, so persistent caches stay valid.
+	if c.Net.Crash != nil || c.Proto.HeartbeatIntervalCycles != 0 {
+		key += fmt.Sprintf("/crash[%s]/hb%d-%d",
+			c.Net.Crash.Key(), c.Proto.HeartbeatIntervalCycles, c.Proto.SuspectTimeoutCycles)
+	}
 	return key
 }
 
@@ -139,7 +153,19 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 
 	var res *svmsim.Result
 	var err error
-	for attempt := 0; ; attempt++ {
+	hit := false
+	if s.CacheDir != "" {
+		if run, derr, ok := s.loadCell(key); ok {
+			hit, err = true, derr
+			if derr == nil {
+				res = &svmsim.Result{Run: run}
+			}
+			if verbose != nil {
+				s.logf(verbose, "disk %-12s %s\n", w.Name, cfgKey(cfg))
+			}
+		}
+	}
+	for attempt := 0; !hit; attempt++ {
 		if verbose != nil {
 			if attempt == 0 {
 				s.logf(verbose, "run %-12s %s\n", w.Name, cfgKey(cfg))
@@ -148,12 +174,21 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 			}
 		}
 		res, err = s.simulate(cfg, w)
-		if err == nil || attempt >= retries {
+		if err == nil || attempt >= retries || deterministicErr(err) {
 			break
 		}
 	}
-	if err != nil {
-		err = fmt.Errorf("%s on %s: %w", w.Name, cfgKey(cfg), err)
+	if !hit {
+		if err != nil {
+			err = fmt.Errorf("%s on %s: %w", w.Name, cfgKey(cfg), err)
+		}
+		if s.CacheDir != "" {
+			var spill *svmsim.RunStats
+			if res != nil {
+				spill = res.Run
+			}
+			s.spillCell(key, spill, err)
+		}
 	}
 
 	s.mu.Lock()
@@ -168,6 +203,18 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 	s.mu.Unlock()
 	close(f.done)
 	return f.run, f.err
+}
+
+// deterministicErr reports whether an error is a structured, reproducible
+// simulation outcome: the simulator is deterministic, so a lost page, an
+// exhausted retry budget, or a tripped watchdog fails identically on every
+// attempt and a retry only re-pays the full simulation cost before caching
+// the same error. Retries exist for host-level flakiness (e.g. a panicking
+// cell hitting an environmental limit), not for modeled failures.
+func deterministicErr(err error) bool {
+	return errors.As(err, new(*svmsim.LostPageError)) ||
+		errors.As(err, new(*svmsim.LinkFailureError)) ||
+		errors.As(err, new(*svmsim.StallError))
 }
 
 // simulate executes one cell, converting a panic (in the simulator, protocol,

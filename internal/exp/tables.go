@@ -335,6 +335,7 @@ func (s *Suite) Experiments() []struct {
 		{"microbench", s.Microbench},
 		{"breakdown", s.Breakdown},
 		{"droprate", s.DropRate},
+		{"nodecrash", s.NodeCrash},
 	}
 }
 

@@ -29,3 +29,10 @@ type ReliableParams struct {
 
 // PollInterval is a plain numeric constant naming a quantity.
 const PollInterval uint64 = 1000
+
+// Detector carries failure-detector knobs without units: the heartbeat and
+// suspicion stems must be held to the same rule as timeouts.
+type Detector struct {
+	HeartbeatGap  int
+	SuspectWindow uint64
+}

@@ -35,3 +35,13 @@ type Recovery struct {
 	TimeoutFires       uint64 // counter of timer expiries, not a duration
 	MaxRetries         int
 }
+
+// Detector is failure-detector knobs done right: explicit cycle units on the
+// quantities, and interior-plural counters (HeartbeatsSent counts events,
+// it is not a heartbeat quantity) stay exempt.
+type Detector struct {
+	HeartbeatIntervalCycles engine.Time
+	SuspectTimeoutCycles    engine.Time
+	HeartbeatsSent          uint64
+	SuspectsCleared         uint64
+}

@@ -34,18 +34,30 @@ func unitOK(name string) bool {
 
 // quantityStems mark names denoting a physical quantity (a time span, a cost,
 // a scale factor) regardless of the declared Go type: RetryTimeout and
-// BackoffFactor need a unit just as much as an engine.Time field does.
-var quantityStems = []string{"Timeout", "Latency", "Delay", "Overhead", "Occupancy", "Interval", "Backoff"}
+// BackoffFactor need a unit just as much as an engine.Time field does. The
+// failure-detector knobs (heartbeat pacing, suspicion windows) are quantity
+// stems too, so a detector cannot grow an unsuffixed HeartbeatGap.
+var quantityStems = []string{"Timeout", "Latency", "Delay", "Overhead", "Occupancy", "Interval", "Backoff", "Heartbeat", "Suspect"}
 
 // quantityName reports whether a declaration name denotes a quantity that
 // must carry a unit. Plural names (TimeoutFires, QueueStalls) are event
-// counters, not quantities, and are exempt.
+// counters, not quantities, and are exempt — including interior plurals of a
+// stem (HeartbeatsSent counts heartbeats; it is not a heartbeat quantity).
 func quantityName(name string) bool {
 	if strings.HasSuffix(name, "s") {
 		return false
 	}
 	for _, stem := range quantityStems {
-		if strings.Contains(name, stem) {
+		for i := 0; ; {
+			j := strings.Index(name[i:], stem)
+			if j < 0 {
+				break
+			}
+			end := i + j + len(stem)
+			if end < len(name) && name[end] == 's' {
+				i = end
+				continue
+			}
 			return true
 		}
 	}

@@ -1,0 +1,75 @@
+package machine_test
+
+import (
+	"errors"
+	"testing"
+
+	"svmsim/internal/apps/fft"
+	"svmsim/internal/engine"
+	"svmsim/internal/machine"
+	"svmsim/internal/network"
+	"svmsim/internal/proto"
+)
+
+// TestCrashWithReliableAndFaults composes all three failure layers: packet
+// faults recovered by the reliable transport, plus a mid-run node crash under
+// the heartbeat detector. The detector must win the race against the retry
+// budget — traffic toward the dead node is reclaimed when the death is
+// declared, so the run ends in recovery (completion or a structured lost
+// page), never in a LinkFailureError from retries grinding against a peer
+// the protocol already knows is dead.
+func TestCrashWithReliableAndFaults(t *testing.T) {
+	at := engine.Time(plainCycles(t) / 2)
+	cfg := crashCfg(50_000) // detect within ~200k cycles of the crash
+	cfg.Net.Fault = &network.FaultPlan{Seed: 1997, Default: network.LinkFaults{DropPerMille: 50}}
+	cfg.Net.Reliable = network.ReliableParams{
+		Enabled:            true,
+		RetryTimeoutCycles: 500_000, // first possible budget exhaustion ~4M cycles: detector fires first
+		MaxRetries:         8,
+	}
+	cfg.Net.Crash = &network.CrashPlan{AtCycles: map[int]engine.Time{2: at}}
+	res, err := machine.Run(cfg, fft.New(fft.Small()))
+	if err != nil {
+		if errors.As(err, new(*network.LinkFailureError)) {
+			t.Fatalf("retry budget fired against a detected-dead peer: %v", err)
+		}
+		if !errors.As(err, new(*proto.LostPageError)) {
+			t.Fatalf("unexpected failure shape: %v", err)
+		}
+		return
+	}
+	if res.Run.Recovery.ReconfigRounds == 0 {
+		t.Fatalf("crash never detected: %+v", res.Run.Recovery)
+	}
+	if res.Run.Net.Retransmits == 0 {
+		t.Fatal("fault plan injected no recoverable loss (test exercises nothing)")
+	}
+}
+
+// TestCrashWithoutDetectorFailsAsDeadLink is the other side of the race: with
+// no failure detector, the survivors keep retransmitting into the crashed
+// node until the retry budget declares the link dead — and the structured
+// error must name the crashed node as the unreachable destination, agreeing
+// with the crash plan about who died.
+func TestCrashWithoutDetectorFailsAsDeadLink(t *testing.T) {
+	at := engine.Time(plainCycles(t) / 2)
+	cfg := crashCfg(0) // detector off
+	cfg.Net.Reliable = network.ReliableParams{
+		// Default timeout: comfortably above a healthy round trip, so the
+		// only link that can exhaust the (short) budget is the dead one.
+		MaxRetries: 2,
+		Enabled:    true,
+	}
+	cfg.Net.Crash = &network.CrashPlan{AtCycles: map[int]engine.Time{2: at}}
+	_, err := machine.Run(cfg, fft.New(fft.Small()))
+	var lf *network.LinkFailureError
+	if !errors.As(err, &lf) {
+		t.Fatalf("want *LinkFailureError from the dead link, got %v", err)
+	}
+	if lf.Dst != 2 {
+		t.Fatalf("retry budget blamed node %d, but node 2 crashed: %v", lf.Dst, lf)
+	}
+	if lf.NowCycles <= at {
+		t.Fatalf("link declared dead at %d, before the crash at %d", lf.NowCycles, at)
+	}
+}

@@ -112,6 +112,23 @@ func (c *Config) Validate() error {
 	if c.Requests == interrupts.Dedicated && c.ProcsPerNode < 2 {
 		return fmt.Errorf("machine: dedicated protocol processor needs >= 2 processors per node")
 	}
+	if c.Net.Crash != nil {
+		if c.Proto.Mode == proto.AURC {
+			// AURC's release fence counts update acks without per-page
+			// attribution, so recovery cannot retire the acks a dead home
+			// will never send; the fence would hang forever.
+			return fmt.Errorf("machine: crash plans require HLRC (AURC update acks are not attributable per page)")
+		}
+		nodes := c.Procs / c.ProcsPerNode
+		for _, ct := range c.Net.Crash.Schedule() {
+			if ct.Node < 0 || ct.Node >= nodes {
+				return fmt.Errorf("machine: crash plan names node %d outside [0,%d)", ct.Node, nodes)
+			}
+		}
+		if len(c.Net.Crash.AtCycles) >= nodes {
+			return fmt.Errorf("machine: crash plan kills all %d nodes", nodes)
+		}
+	}
 	return nil
 }
 
@@ -186,11 +203,33 @@ func Run(cfg Config, app App) (*Result, error) {
 	for gid := 0; gid < cfg.Procs; gid++ {
 		sys.Procs[gid].Bind(nil, &run.Procs[gid])
 	}
+
+	// With a crash plan (or the failure detector's periodic ticks) the event
+	// queue never drains on its own, so the run ends by counting survivor
+	// completions and stopping the engine explicitly. Crashing nodes'
+	// processors are excluded from the count: their threads are killed at
+	// the crash instant and never finish.
+	crash := cfg.Net.Crash
+	stopWhenDone := crash != nil || cfg.Proto.HeartbeatIntervalCycles > 0
+	willCrash := make([]bool, nodes)
+	if crash != nil {
+		for _, ct := range crash.Schedule() {
+			willCrash[ct.Node] = true
+		}
+	}
+	nodeThreads := make([][]*engine.Thread, nodes)
+	expected, done := 0, 0
+
 	var maxEnd engine.Time
 	for i, gid := range appProcs {
 		appID, g := i, gid
+		nid := g / cfg.ProcsPerNode
+		counts := !willCrash[nid]
+		if counts {
+			expected++
+		}
 		//svmlint:ignore hotalloc one closure per processor at run setup, not on the event path
-		sim.Spawn(fmt.Sprintf("proc%d", g), func(t *engine.Thread) {
+		th := sim.Spawn(fmt.Sprintf("proc%d", g), func(t *engine.Thread) {
 			c := shm.NewProc(w, sys.Procs[g], appID, len(appProcs), t)
 			c.P.Bind(t, &run.Procs[g])
 			app.Body(c, state)
@@ -199,7 +238,21 @@ func Run(cfg Config, app App) (*Result, error) {
 			if sim.Now() > maxEnd {
 				maxEnd = sim.Now()
 			}
+			if counts {
+				done++
+				if stopWhenDone && done == expected {
+					sim.Stop()
+				}
+			}
 		})
+		nodeThreads[nid] = append(nodeThreads[nid], th)
+	}
+	if crash != nil {
+		for _, ct := range crash.Schedule() {
+			sim.AtTarget(ct.AtCycles, &crashEvent{
+				sim: sim, sys: sys, node: ct.Node, threads: nodeThreads[ct.Node],
+			}, nil)
+		}
 	}
 	// On a stall, report where each processor last blocked (the protocol
 	// breadcrumb) and whether an interrupt handler holds it.
@@ -232,18 +285,50 @@ func Run(cfg Config, app App) (*Result, error) {
 			run.Net.NacksSent += ni.NacksSent
 			run.Net.TimeoutFires += ni.TimeoutFires
 			run.Net.QueueStalls += ni.QueueStalls
+			run.Net.CrashDrops += ni.CrashDrops
 		}
 	}
+	run.Recovery = sys.Recovery()
 	if err != nil {
 		return res, fmt.Errorf("machine: %s: %w", app.Name, err)
 	}
+	// Under a crash plan, Cycles is the degraded-mode completion time: the
+	// end of the last surviving processor.
 	run.Cycles = maxEnd
-	if app.Check != nil {
+	if app.Check != nil && crash == nil {
+		// A crashed node's share of the computation is lost by design, so
+		// full-result checks only apply to fault-free runs; degraded runs
+		// are validated by completion and determinism instead.
 		if err := app.Check(w, state); err != nil {
 			return res, fmt.Errorf("machine: %s result check: %w", app.Name, err)
 		}
 	}
 	return res, nil
+}
+
+// crashEvent is the typed target of one node's scheduled crash-stop: at the
+// crash instant it silences the node's NIs, discards its in-flight traffic
+// at every peer, and kills its application threads mid-instruction.
+type crashEvent struct {
+	sim     *engine.Sim
+	sys     *proto.System
+	node    int
+	threads []*engine.Thread
+}
+
+// HandleEvent implements engine.EventTarget (scheduler context: no yields).
+func (c *crashEvent) HandleEvent(any) {
+	for _, channel := range c.sys.NIs {
+		for _, ni := range channel {
+			ni.MarkPeerCrashed(c.node)
+		}
+	}
+	for _, ni := range c.sys.NIs[c.node] {
+		ni.Crash()
+	}
+	for _, t := range c.threads {
+		c.sim.Kill(t)
+	}
 }
 
 // Uniprocessor derives the 1-processor configuration used as the speedup

@@ -1,0 +1,133 @@
+// Crash-stop node failures: a deterministic model of whole-node death. The
+// paper's cluster model assumes every node survives the run; a CrashPlan
+// instead silences chosen nodes' NIs at chosen simcycles — nothing the node
+// had in flight materializes, nothing it tries to send afterwards reaches
+// the wire, and everything sent to it vanishes. The plan composes with
+// FaultPlan and ReliableParams: a retransmit toward a dead peer pays its
+// full send-side cost and is then discarded at the (dead) receiver, so it is
+// the failure detector in internal/proto — or the transport retry budget —
+// that must notice the death, exactly as on real hardware.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"svmsim/internal/engine"
+)
+
+// CrashTime is one scheduled node death.
+type CrashTime struct {
+	Node     int
+	AtCycles engine.Time
+}
+
+// CrashPlan schedules crash-stop node failures for the whole cluster. A nil
+// plan means every node survives. Crash times are absolute simcycles; at
+// that instant the node's NI is silenced and its processor threads stop (the
+// machine layer kills them). A node crashes at most once; listing node 0 is
+// allowed and forces barrier-master re-election in the protocol.
+type CrashPlan struct {
+	// AtCycles maps node ID -> crash time in simcycles.
+	AtCycles map[int]engine.Time
+}
+
+// Schedule returns the planned deaths sorted by (time, node), the order in
+// which the machine layer must apply them so a plan built from an unordered
+// map yields a deterministic event schedule.
+func (cp *CrashPlan) Schedule() []CrashTime {
+	if cp == nil {
+		return nil
+	}
+	out := make([]CrashTime, 0, len(cp.AtCycles))
+	for n, at := range cp.AtCycles {
+		out = append(out, CrashTime{Node: n, AtCycles: at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AtCycles != out[j].AtCycles {
+			return out[i].AtCycles < out[j].AtCycles
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Key returns a deterministic textual descriptor of the plan, used by
+// experiment memo caches to distinguish configurations. Entries are emitted
+// in sorted order so the key never depends on map iteration order.
+func (cp *CrashPlan) Key() string {
+	if cp == nil || len(cp.AtCycles) == 0 {
+		return "off"
+	}
+	var b strings.Builder
+	for i, ct := range cp.Schedule() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "n%d@%d", ct.Node, ct.AtCycles)
+	}
+	return b.String()
+}
+
+// PlanFromSeed derives a one-node crash plan deterministically from a seed:
+// the victim is drawn from [1, nodes) (node 0 is spared so the derived plans
+// exercise the common, non-master case; crash node 0 explicitly to test
+// master re-election) and the crash time uniformly from [minCycles,
+// maxCycles]. The same (seed, nodes, window) always yields the same plan.
+func PlanFromSeed(seed uint64, nodes int, minCycles, maxCycles engine.Time) *CrashPlan {
+	if nodes < 2 || maxCycles < minCycles {
+		return nil
+	}
+	h := splitmix64(seed)
+	victim := 1 + int(h%uint64(nodes-1))
+	span := uint64(maxCycles-minCycles) + 1
+	at := minCycles + engine.Time(splitmix64(h)%span)
+	return &CrashPlan{AtCycles: map[int]engine.Time{victim: at}}
+}
+
+// Crash silences this NI from the current instant on: it sends nothing,
+// hears nothing, and its retransmit timers become inert. The machine layer
+// calls it at the node's scheduled crash time.
+func (ni *NI) Crash() { ni.crashed = true }
+
+// Crashed reports whether this NI's node has crash-stopped.
+func (ni *NI) Crashed() bool { return ni.crashed }
+
+// MarkPeerCrashed records the physical fact that peer died: wire transfers
+// from it still in flight are discarded on arrival. This is simulator-level
+// bookkeeping applied to every NI at the crash instant, not protocol
+// knowledge — the protocol learns of the death only through its failure
+// detector (or a transport retry budget).
+func (ni *NI) MarkPeerCrashed(peer int) {
+	if ni.peerCrashed == nil {
+		ni.peerCrashed = make([]bool, len(ni.peers))
+	}
+	ni.peerCrashed[peer] = true
+}
+
+// ReclaimPeer abandons transport state toward a peer the protocol has
+// declared dead: pending retransmissions are retired so their timers stop
+// firing (and can no longer exhaust the retry budget). It returns how many
+// unacked messages were abandoned. Called during reconfiguration; until
+// then, retransmits toward the dead peer keep burning real send-side cycles.
+func (ni *NI) ReclaimPeer(peer int) int {
+	if ni.peerDead == nil {
+		ni.peerDead = make([]bool, len(ni.peers))
+	}
+	ni.peerDead[peer] = true
+	if ni.relPeers == nil || ni.relPeers[peer] == nil {
+		return 0
+	}
+	rp := ni.relPeers[peer]
+	n := 0
+	for i, pt := range rp.pending {
+		if !pt.acked {
+			pt.acked = true
+			n++
+		}
+		rp.pending[i] = nil
+	}
+	rp.pending = rp.pending[:0]
+	return n
+}

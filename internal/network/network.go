@@ -54,13 +54,19 @@ const (
 	// TransportNack asks the sender to fast-retransmit a missing
 	// sequence (gap detected by the resequencing receiver). NI-internal.
 	TransportNack
+	// Heartbeat is the failure detector's periodic liveness probe
+	// (deposit; consumed by the protocol's detector, never interrupts).
+	Heartbeat
+	// Reconfig announces a reconfiguration round after a node is declared
+	// dead (deposit): it carries the membership change to survivors.
+	Reconfig
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"page-request", "page-reply", "lock-request", "lock-grant", "lock-owner",
 	"diff", "diff-ack", "update", "update-ack", "barrier-arrive", "barrier-release",
-	"xport-ack", "xport-nack",
+	"xport-ack", "xport-nack", "heartbeat", "reconfig",
 }
 
 // String returns the kind's wire name.
@@ -132,6 +138,10 @@ type Params struct {
 	// Reliable configures the ack/retransmit recovery layer (see
 	// ReliableParams). Disabled, every injected fault is unrecovered.
 	Reliable ReliableParams
+
+	// Crash schedules crash-stop node failures (see CrashPlan). Nil means
+	// every node survives the run, as the paper assumes.
+	Crash *CrashPlan
 }
 
 // queueBytes returns the effective outgoing queue bound.
@@ -226,6 +236,18 @@ type NI struct {
 	// its receive side discarded; Retransmits, AcksSent, NacksSent and
 	// TimeoutFires account the recovery layer's work.
 	Dropped, DupsInjected, Dups, Retransmits, AcksSent, NacksSent, TimeoutFires uint64
+
+	// crashed silences this NI after its node crash-stops; peerCrashed
+	// records which peers have crashed (their in-flight traffic is
+	// discarded on arrival); CrashDrops counts messages discarded by
+	// either check.
+	crashed     bool
+	peerCrashed []bool
+	CrashDrops  uint64
+	// peerDead marks peers the *protocol* has declared dead (ReclaimPeer):
+	// traffic toward them is no longer tracked by the reliable layer, so no
+	// fresh retry timers can fire after reconfiguration.
+	peerDead []bool
 }
 
 // NewNI creates the NI for node nodeID. Wire the full peer set with SetPeers
@@ -318,6 +340,12 @@ func (ni *NI) startSender() {
 // plan, which may drop, duplicate or delay it. Retransmissions re-enter here
 // and pay the full pipeline again.
 func (ni *NI) transmit(t *engine.Thread, m *Message) {
+	if ni.crashed {
+		// A crashed node's NI sends nothing: whatever its zombie threads
+		// still try to emit dies silently at the (dead) send engine.
+		ni.CrashDrops++
+		return
+	}
 	p := ni.params
 	wire := p.WireBytes(m.Size)
 	npkts := p.Packets(m.Size)
@@ -339,7 +367,8 @@ func (ni *NI) transmit(t *engine.Thread, m *Message) {
 	}
 	// Reliable delivery: sequence the message and arm its retransmit timer
 	// (counted from the moment it reaches the wire).
-	if p.Reliable.Enabled && !isTransport(m.Kind) {
+	if p.Reliable.Enabled && !isTransport(m.Kind) &&
+		!(ni.peerDead != nil && ni.peerDead[m.Dst]) {
 		if pt := ni.track(m); pt != nil {
 			ni.armTimer(pt)
 		}
@@ -361,6 +390,13 @@ func (ni *NI) HandleEvent(arg any) { ni.arrive(arg.(*Message)) }
 
 // arrive queues a message on the receive side.
 func (ni *NI) arrive(m *Message) {
+	if ni.crashed || (ni.peerCrashed != nil && ni.peerCrashed[m.Src]) {
+		// Wire transfers touching a crashed node vanish: a dead NI hears
+		// nothing, and packets a node had in flight when it crashed never
+		// materialize at survivors.
+		ni.CrashDrops++
+		return
+	}
 	ni.recvQ = append(ni.recvQ, m)
 	ni.startReceiver()
 }

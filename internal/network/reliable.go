@@ -206,6 +206,10 @@ func (ni *NI) onRetryTimer(pt *pendingTx) {
 	if pt.acked || ni.sim.Now() != pt.timerAt {
 		return
 	}
+	if ni.crashed {
+		// A dead NI retransmits nothing and cannot fail the run.
+		return
+	}
 	ni.TimeoutFires++
 	if max := ni.params.Reliable.maxRetries(); max != UnboundedRetries && pt.attempts-1 >= max {
 		ni.sim.Fail(&LinkFailureError{

@@ -1,0 +1,104 @@
+package network
+
+import (
+	"testing"
+
+	"svmsim/internal/engine"
+)
+
+// FuzzReliableTransport drives the ack/retransmit layer through arbitrary
+// fault schedules (drop/duplicate/reorder mixes, timeout settings, message
+// counts) and checks the transport invariants the SVM protocol layer builds
+// on:
+//
+//   - exactly-once, in-order delivery: every posted message arrives once, in
+//     sequence, no matter how the fault schedule slices the traffic;
+//   - monotonic cumulative acks: the receiver's resequencing point never
+//     moves backwards, so a cumulative ack can never un-retire a message;
+//   - ascending pending queue: the sender's unacked list stays strictly
+//     sequence-ordered and duplicate-free (onAck's compaction and track's
+//     re-transmit path must never double-insert an entry);
+//   - no resequencing-buffer leak: when the run quiesces, the receiver holds
+//     no out-of-order messages and the sender's pending queue is empty —
+//     everything was delivered and retired, not parked forever.
+func FuzzReliableTransport(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint16(0), uint16(0), uint32(0), uint8(20), uint32(20_000))
+	f.Add(uint64(7), uint16(0), uint16(400), uint16(300), uint32(50_000), uint8(30), uint32(30_000))
+	f.Add(uint64(42), uint16(200), uint16(100), uint16(100), uint32(5_000), uint8(50), uint32(1_000))
+	f.Add(uint64(9), uint16(800), uint16(800), uint16(800), uint32(90_000), uint8(10), uint32(500))
+	f.Fuzz(func(t *testing.T, seed uint64, dropPM, dupPM, reorderPM uint16,
+		reorderDelay uint32, nMsgs uint8, retryTimeout uint32) {
+		// Clamp to schedules that terminate: sub-certain loss so every
+		// retransmission has a chance, no backoff so the worst case stays
+		// within the cycle budget, and at least one message.
+		n := int(nMsgs)%60 + 1
+		plan := &FaultPlan{Seed: seed, Default: LinkFaults{
+			DropPerMille:       int(dropPM) % 801,
+			DupPerMille:        int(dupPM) % 801,
+			ReorderPerMille:    int(reorderPM) % 801,
+			ReorderDelayCycles: engine.Time(reorderDelay) % 100_000,
+		}}
+		rel := ReliableParams{
+			Enabled:            true,
+			RetryTimeoutCycles: engine.Time(retryTimeout)%50_000 + 500,
+			BackoffFactorPct:   100,
+			MaxRetries:         UnboundedRetries,
+		}
+
+		s := engine.New()
+		s.MaxCycles = 2_000_000_000 // livelock backstop: tripping it is a finding
+		p := testParams()
+		p.Fault = plan
+		p.Reliable = rel
+
+		var order []int
+		var a, b *NI
+		lastExpected := uint64(1)
+		deliver := func(_ *engine.Thread, m *Message) {
+			order = append(order, m.Payload.(int))
+			// The resequencing point only ever advances.
+			rp := b.rel(0)
+			if rp.expected < lastExpected {
+				t.Fatalf("cumulative ack moved backwards: expected %d after %d", rp.expected, lastExpected)
+			}
+			lastExpected = rp.expected
+			// The sender's unacked list stays strictly ascending and unique.
+			var prev uint64
+			for _, pt := range a.rel(1).pending {
+				if pt.m.seq <= prev {
+					t.Fatalf("pending queue not strictly ascending at seq %d (prev %d)", pt.m.seq, prev)
+				}
+				prev = pt.m.seq
+			}
+		}
+		a, b = pair(s, p, deliver)
+		s.Spawn("sender", func(th *engine.Thread) {
+			for i := 0; i < n; i++ {
+				a.Post(th, &Message{Kind: Diff, Src: 0, Dst: 1, Size: 256, Payload: i})
+				th.Delay(100)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("run failed under plan seed=%d drop=%d dup=%d reorder=%d: %v",
+				seed, plan.Default.DropPerMille, plan.Default.DupPerMille, plan.Default.ReorderPerMille, err)
+		}
+
+		if len(order) != n {
+			t.Fatalf("delivered %d/%d messages", len(order), n)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("duplicate or out-of-order delivery at %d: %v", i, order)
+			}
+		}
+		if held := len(b.rel(0).held); held != 0 {
+			t.Fatalf("resequencing buffer leaked %d held messages after quiescence", held)
+		}
+		if pending := len(a.rel(1).pending); pending != 0 {
+			t.Fatalf("sender still tracks %d unacked messages after quiescence", pending)
+		}
+		if b.rel(0).expected != uint64(n)+1 {
+			t.Fatalf("receiver expected=%d after %d deliveries", b.rel(0).expected, n)
+		}
+	})
+}

@@ -18,13 +18,21 @@ import (
 
 type barrierArriveMsg struct {
 	node int32
+	// gen is the sender's barrier generation, so a master elected after a
+	// crash can tell current arrivals from stragglers of earlier barriers.
+	gen  uint64
 	vc   []uint32
 	recs []Notice
 }
 
 type barrierReleaseMsg struct {
+	gen     uint64
 	notices []Notice
 	vc      []uint32
+	// conservative marks a catch-up release whose write-notice history is no
+	// longer replayable (truncated, or died with the old master): the
+	// receiver must invalidate every valid remote-homed page instead.
+	conservative bool
 }
 
 type barrierState struct {
@@ -34,6 +42,10 @@ type barrierState struct {
 	// join barriers (one less than the node size when a processor is
 	// reserved for protocol processing).
 	participants int
+
+	// master is the collecting node, 0 until a crash forces re-election
+	// (recoverBarrier moves it to the lowest live node).
+	master int
 
 	// Per node: local arrival count, generation, and the wait condition.
 	arrived []int
@@ -103,7 +115,7 @@ func (sy *System) Barrier(t *engine.Thread, p *node.Processor) {
 	// Last arriver in the node: close the interval (release semantics).
 	ns.closeInterval(t, p, false)
 
-	if nid == 0 {
+	if nid == b.master {
 		sy.barrierMaster(t, p, ns)
 	} else {
 		sy.barrierLeaf(t, p, ns)
@@ -118,21 +130,41 @@ func (sy *System) Barrier(t *engine.Thread, p *node.Processor) {
 }
 
 // barrierLeaf sends this node's arrival to the master and waits for the
-// release, applying the notices it carries.
+// release, applying the notices it carries. After a crash the master can
+// change mid-wait: the recovery round wakes every sleeper, and the leaf
+// either re-sends its arrival to the new master or — if promoted — takes
+// over collection itself.
 func (sy *System) barrierLeaf(t *engine.Thread, p *node.Processor, ns *nodeState) {
 	b := sy.bar
-	recs := ns.noticesSince(ns.lastBarrierVC)
-	vc := append([]uint32(nil), ns.vc...)
-	sy.send(t, &network.Message{
-		Kind:    network.BarrierArrive,
-		Src:     ns.id,
-		Dst:     0,
-		SrcProc: p.GlobalID,
-		Size:    sy.Prm.CtlBytes + 4*len(vc) + sy.noticesWireBytes(recs),
-		Payload: barrierArriveMsg{node: int32(ns.id), vc: vc, recs: recs},
-	}, p, true, true)
-
-	for len(b.releases[ns.id]) == 0 {
+	myGen := b.gen[ns.id]
+	sentTo := -1
+	for {
+		if b.master == ns.id {
+			sy.barrierMaster(t, p, ns)
+			return
+		}
+		if sentTo != b.master {
+			sentTo = b.master
+			recs := ns.noticesSince(ns.lastBarrierVC)
+			vc := append([]uint32(nil), ns.vc...)
+			sy.send(t, &network.Message{
+				Kind:    network.BarrierArrive,
+				Src:     ns.id,
+				Dst:     sentTo,
+				SrcProc: p.GlobalID,
+				Size:    sy.Prm.CtlBytes + 4*len(vc) + sy.noticesWireBytes(recs),
+				Payload: barrierArriveMsg{node: int32(ns.id), gen: myGen, vc: vc, recs: recs},
+			}, p, true, true)
+			continue // the release (or a master change) may have landed during the send
+		}
+		// Discard releases of generations this node already completed
+		// (duplicates from a master change).
+		for len(b.releases[ns.id]) > 0 && b.releases[ns.id][0].gen < myGen {
+			b.releases[ns.id] = b.releases[ns.id][1:]
+		}
+		if len(b.releases[ns.id]) > 0 {
+			break
+		}
 		p.Where = "barrier-release-wait"
 		b.relCond[ns.id].Wait(t)
 		p.BlockedWake(t)
@@ -140,25 +172,49 @@ func (sy *System) barrierLeaf(t *engine.Thread, p *node.Processor, ns *nodeState
 	p.Where = ""
 	rel := b.releases[ns.id][0]
 	b.releases[ns.id] = b.releases[ns.id][1:]
+	if rel.conservative {
+		ns.invalidateAllRemote(t, p)
+	}
 	ns.applyNotices(t, p, false, rel.notices, rel.vc)
 	p.Sync(t)
 	copy(ns.lastBarrierVC, ns.vc)
 	ns.truncateLog()
 }
 
-// barrierMaster gathers every node's arrival, merges notices and clocks, and
-// sends each node a tailored release.
+// barrierMaster gathers every live node's arrival, merges notices and clocks,
+// and sends each node a tailored release. A master elected after a crash may
+// find stragglers of older generations in the inbox (their release died with
+// the old master) — they are caught up conservatively — or arrivals of a
+// NEWER generation, proof that the old master completed this barrier
+// cluster-wide before dying, in which case the new master catches itself up
+// instead of collecting.
 func (sy *System) barrierMaster(t *engine.Thread, p *node.Processor, ns *nodeState) {
 	b := sy.bar
 	n := len(sy.Nodes)
-	// Wait until every other node has arrived.
+	g := b.gen[ns.id]
 	for {
 		ready := true
-		for i := 1; i < n; i++ {
+		ahead := -1
+		for i := 0; i < n; i++ {
+			if i == ns.id || !sy.alive(i) {
+				continue
+			}
+			for len(b.inbox[i]) > 0 && b.inbox[i][0].gen < g {
+				arr := b.inbox[i][0]
+				b.inbox[i] = b.inbox[i][1:]
+				sy.masterRelease(t, p, ns, arr, true)
+			}
 			if len(b.inbox[i]) == 0 {
 				ready = false
-				break
+				continue
 			}
+			if b.inbox[i][0].gen > g {
+				ahead = i
+			}
+		}
+		if ahead >= 0 {
+			sy.masterCatchUp(t, p, ns, ahead, g)
+			return
 		}
 		if ready {
 			break
@@ -168,36 +224,97 @@ func (sy *System) barrierMaster(t *engine.Thread, p *node.Processor, ns *nodeSta
 		p.BlockedWake(t)
 	}
 	arr := make([]barrierArriveMsg, n)
-	for i := 1; i < n; i++ {
+	for i := 0; i < n; i++ {
+		if i == ns.id || !sy.alive(i) {
+			continue
+		}
 		arr[i] = b.inbox[i][0]
 		b.inbox[i] = b.inbox[i][1:]
 	}
 	// Merge every node's notices into the master's state (in node order for
 	// determinism), invalidating the master's stale pages.
-	for i := 1; i < n; i++ {
+	for i := 0; i < n; i++ {
+		if i == ns.id || !sy.alive(i) {
+			continue
+		}
 		ns.applyNotices(t, p, false, arr[i].recs, arr[i].vc)
 	}
 	p.Sync(t)
 	// Release each node with the notices it lacks.
-	for i := 1; i < n; i++ {
-		recs := ns.noticesSince(arr[i].vc)
-		vc := append([]uint32(nil), ns.vc...)
-		sy.send(t, &network.Message{
-			Kind:    network.BarrierRelease,
-			Src:     0,
-			Dst:     i,
-			SrcProc: p.GlobalID,
-			Size:    sy.Prm.CtlBytes + 4*len(vc) + sy.noticesWireBytes(recs),
-			Payload: barrierReleaseMsg{notices: recs, vc: vc},
-		}, p, true, true)
+	for i := 0; i < n; i++ {
+		if i == ns.id || !sy.alive(i) {
+			continue
+		}
+		sy.masterRelease(t, p, ns, arr[i], false)
 	}
 	copy(ns.lastBarrierVC, ns.vc)
 	ns.truncateLog()
 }
 
-// handleArrive queues a node's arrival at the master (NI deposit).
+// masterRelease sends one node its barrier release. A catch-up release (for a
+// straggler of an older generation) is conservative when the write notices
+// the straggler needs predate the master's log horizon and cannot be
+// replayed.
+func (sy *System) masterRelease(t *engine.Thread, p *node.Processor, ns *nodeState, arr barrierArriveMsg, catchUp bool) {
+	conservative := false
+	if catchUp {
+		for o, v := range arr.vc {
+			if v < ns.logBase[o] {
+				conservative = true
+				break
+			}
+		}
+	}
+	recs := ns.noticesSince(arr.vc)
+	if conservative {
+		recs = nil
+	}
+	vc := append([]uint32(nil), ns.vc...)
+	sy.send(t, &network.Message{
+		Kind:    network.BarrierRelease,
+		Src:     ns.id,
+		Dst:     int(arr.node),
+		SrcProc: p.GlobalID,
+		Size:    sy.Prm.CtlBytes + 4*len(vc) + sy.noticesWireBytes(recs),
+		Payload: barrierReleaseMsg{gen: arr.gen, notices: recs, vc: vc, conservative: conservative},
+	}, p, true, true)
+}
+
+// masterCatchUp handles a new master discovering that the old master already
+// completed its current barrier generation cluster-wide before dying: an
+// arrival of a newer generation is queued. The new master adopts the ahead
+// leaf's merged clock conservatively, releases any same-generation
+// stragglers, and leaves the newer arrivals queued for its own next barrier.
+func (sy *System) masterCatchUp(t *engine.Thread, p *node.Processor, ns *nodeState, ahead int, g uint64) {
+	b := sy.bar
+	aheadVC := append([]uint32(nil), b.inbox[ahead][0].vc...)
+	ns.invalidateAllRemote(t, p)
+	ns.applyNotices(t, p, false, nil, aheadVC)
+	p.Sync(t)
+	copy(ns.lastBarrierVC, ns.vc)
+	ns.truncateLog()
+	for i := 0; i < len(sy.Nodes); i++ {
+		if i == ns.id || !sy.alive(i) {
+			continue
+		}
+		for len(b.inbox[i]) > 0 && b.inbox[i][0].gen <= g {
+			arr := b.inbox[i][0]
+			b.inbox[i] = b.inbox[i][1:]
+			sy.masterRelease(t, p, ns, arr, true)
+		}
+	}
+}
+
+// handleArrive queues a node's arrival at the master (NI deposit). An
+// arrival already queued for the same generation is a duplicate (the leaf
+// re-sent it after a master change landed at the old address too).
 func (b *barrierState) handleArrive(m *network.Message) {
 	a := m.Payload.(barrierArriveMsg)
+	for _, q := range b.inbox[a.node] {
+		if q.gen == a.gen {
+			return
+		}
+	}
 	b.inbox[a.node] = append(b.inbox[a.node], a)
 	b.masterCond.Broadcast()
 }

@@ -60,9 +60,13 @@ type lockNode struct {
 	// totally orders ownership changes because the token is unique.
 	tokenSeq      uint64
 	lastGrantedTo int32
-	queue         []lockWaiter
-	grantCond     *engine.Cond
-	granted       *lockGrantMsg
+	// lastGrantSeq is the sequence of the last grant this node performed
+	// (zero if it never granted). Recovery uses the cluster-wide maximum to
+	// locate where the token was last headed when its holder may have died.
+	lastGrantSeq uint64
+	queue        []lockWaiter
+	grantCond    *engine.Cond
+	granted      *lockGrantMsg
 }
 
 type lockReqMsg struct {
@@ -245,6 +249,7 @@ func (sy *System) grantTo(t *engine.Thread, p *node.Processor, handler bool, ns 
 	ln.haveToken = false
 	ln.busy = false
 	ln.lastGrantedTo = remote
+	ln.lastGrantSeq = newSeq
 	if int32(ns.id) == lg.manager && newSeq > lg.ownerSeq {
 		lg.ownerView, lg.ownerSeq = remote, newSeq
 	}
@@ -281,6 +286,19 @@ func (sy *System) handleLockRequest(ht *engine.Thread, victim *node.Processor, m
 	lg := sy.locks[req.lock]
 	ht.Delay(sy.Prm.LockHandlerCycles)
 	sy.lockTrace("request lock=%d from=n%d at=n%d token=%v busy=%v q=%d", req.lock, req.reqNode, ns.id, ln.haveToken, ln.busy, len(ln.queue))
+
+	if sy.fd != nil {
+		if sy.fd.dead[int(req.reqNode)] {
+			// The requester died: granting (or queueing) would throw the
+			// token away on a dead node.
+			return
+		}
+		if int(req.reqNode) == ns.id && ln.haveToken {
+			// Our own stale request looped back after recovery rebuilt the
+			// token here: consuming it would self-grant.
+			return
+		}
+	}
 
 	switch {
 	case ln.haveToken && !ln.busy && len(ln.queue) == 0:

@@ -195,6 +195,18 @@ func (ns *nodeState) fetch(t *engine.Thread, p *node.Processor, pg int32) {
 	// only leave once our own flush of the page has been acknowledged by
 	// the home (flush-before-fetch ordering).
 	for ns.state[pg] == pgInvalid {
+		if sy.fd != nil {
+			if dead, lost := sy.fd.lost[pg]; lost {
+				// The page's only data died with its home. Fail the run with
+				// a structured error and park: the engine tears down after
+				// the failure is recorded.
+				sy.Sim.Fail(&LostPageError{Page: pg, Node: ns.id, DeadHome: int(dead), NowCycles: sy.Sim.Now()})
+				for {
+					p.Where = fmt.Sprintf("lost-page pg=%d", pg)
+					sy.fd.limbo.Wait(t)
+				}
+			}
+		}
 		if ns.diffFlight[pg] > 0 {
 			p.Where = fmt.Sprintf("diff-flight-wait pg=%d", pg)
 			ns.ackCond.Wait(t)

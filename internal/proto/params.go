@@ -91,6 +91,18 @@ type Params struct {
 	// paper's Section 7 ablation, "disable remote page fetches"). Data is
 	// teleported from the home image so results stay correct.
 	AllLocal bool
+
+	// HeartbeatIntervalCycles enables the failure detector: each node's
+	// interrupt controller fires a heartbeat round this often, probing
+	// every live peer. Heartbeats pay the full interrupt, host-overhead,
+	// NI-occupancy and bus cost, so detection aggressiveness is itself a
+	// communication parameter (the paper's interrupt-cost axis). Zero
+	// disables detection, the paper's fault-free cluster.
+	HeartbeatIntervalCycles engine.Time
+	// SuspectTimeoutCycles is how long a peer may stay silent before it is
+	// declared dead and a reconfiguration round runs. Zero means 4x the
+	// heartbeat interval.
+	SuspectTimeoutCycles engine.Time
 }
 
 // DefaultParams returns the baseline protocol parameters.

@@ -67,6 +67,9 @@ type System struct {
 
 	locks []*lockGlobal
 	bar   *barrierState
+	// fd is the heartbeat failure detector (nil when the protocol's
+	// HeartbeatIntervalCycles is zero: the paper's fault-free cluster).
+	fd *failureDetector
 
 	// Trace records protocol events when enabled (nil otherwise).
 	Trace *trace.Recorder
@@ -199,6 +202,9 @@ func NewSystem(s *engine.Sim, cfg SystemConfig) *System {
 		}
 	}
 	sy.bar = newBarrier(sy)
+	if cfg.ProtoPrm.HeartbeatIntervalCycles > 0 {
+		sy.fd = newFailureDetector(sy)
+	}
 	return sy
 }
 
@@ -324,6 +330,11 @@ func (sy *System) deliver(t *engine.Thread, m *network.Message) {
 		sy.bar.handleArrive(m)
 	case network.BarrierRelease:
 		sy.bar.handleRelease(m)
+	case network.Heartbeat:
+		sy.fd.onHeartbeat(m)
+	case network.Reconfig:
+		// Membership repair is performed centrally by the detecting node's
+		// reconfiguration round; the message models its wire cost.
 	default:
 		panic("proto: unknown message kind " + m.Kind.String())
 	}

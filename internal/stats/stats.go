@@ -90,6 +90,38 @@ type Net struct {
 	Retransmits, AcksSent, NacksSent, TimeoutFires uint64
 	// QueueStalls counts posts delayed by a full outgoing NI queue.
 	QueueStalls uint64
+	// CrashDrops counts wire transfers discarded because a crash-stopped
+	// node was the sender or receiver.
+	CrashDrops uint64
+}
+
+// Recovery aggregates the failure detector's and recovery protocol's work
+// (see internal/proto). All zero when no node crashes and the detector is
+// off — test-enforced, so the crash machinery is provably inert on clean
+// configurations.
+type Recovery struct {
+	// HeartbeatsSent counts liveness probes emitted cluster-wide; each one
+	// paid real interrupt, host-overhead, occupancy and bus cycles.
+	HeartbeatsSent uint64
+	// SuspectCycles is the detection latency: cycles from the last
+	// heartbeat heard from a dead node until it was declared dead, summed
+	// over deaths.
+	SuspectCycles uint64
+	// PagesRehomed counts pages whose home crashed and that were re-homed
+	// onto a surviving node holding a valid copy.
+	PagesRehomed uint64
+	// PagesLost counts pages whose home crashed with no surviving valid
+	// copy: the next access faults with a *LostPageError.
+	PagesLost uint64
+	// LocksReclaimed counts locks whose token died with a node and was
+	// reconstructed at a survivor.
+	LocksReclaimed uint64
+	// ReconfigRounds counts reconfiguration rounds (one per detected
+	// death).
+	ReconfigRounds uint64
+	// RecoveryCycles is the total simulated time spent inside
+	// reconfiguration rounds.
+	RecoveryCycles uint64
 }
 
 // Run aggregates a whole simulation run.
@@ -102,6 +134,8 @@ type Run struct {
 	ProcsPerNode int
 	// Net is the cluster-wide network fault/recovery summary.
 	Net Net
+	// Recovery is the cluster-wide failure-detection/recovery summary.
+	Recovery Recovery
 }
 
 // NewRun creates a Run for n processors.

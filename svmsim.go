@@ -110,7 +110,21 @@ type (
 	LinkFailureError = network.LinkFailureError
 	// StallError reports the progress watchdog firing (see Config.MaxCycles).
 	StallError = engine.StallError
+	// CrashPlan schedules crash-stop node failures (Config.Net.Crash).
+	CrashPlan = network.CrashPlan
+	// CrashTime is one scheduled node death of a CrashPlan.
+	CrashTime = network.CrashTime
+	// LostPageError reports an access to a page whose only valid copy died
+	// with its crashed home node.
+	LostPageError = proto.LostPageError
 )
+
+// PlanFromSeed derives a deterministic one-node crash plan from a seed (see
+// network.PlanFromSeed): victim in [1, nodes), crash time in the given
+// window.
+func PlanFromSeed(seed uint64, nodes int, minCycles, maxCycles uint64) *CrashPlan {
+	return network.PlanFromSeed(seed, nodes, minCycles, maxCycles)
+}
 
 // UnboundedRetries disables the reliable layer's retry budget (see
 // ReliableParams.MaxRetries); only the progress watchdog then bounds a dead
