@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race chaos bench bench-engine experiments faults
+.PHONY: check vet lint build test race chaos serve-smoke bench bench-engine experiments faults
 
-check: vet lint build test race chaos
+check: vet lint build test race chaos serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,12 @@ race:
 # to end, in well under a minute.
 chaos:
 	$(GO) run -race ./cmd/experiments -only nodecrash -procs 4 -ppn 2
+
+# Daemon smoke: build svmsimd, serve one cell over HTTP, verify the metrics
+# counters move and a warm resubmission is a zero-simulation store hit, then
+# SIGTERM and require a clean drain. Seconds end to end.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Single-run and suite-level throughput benchmarks (before/after numbers for
 # EXPERIMENTS.md).

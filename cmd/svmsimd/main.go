@@ -1,0 +1,115 @@
+// Command svmsimd serves the simulator over HTTP: experiment cells and whole
+// parameter sweeps are submitted as JSON (the schema of
+// internal/exp/codec.go), executed on a bounded worker pool, and served from
+// a content-addressed result store — a resubmitted experiment costs zero
+// simulations. See internal/server for the API surface.
+//
+// Endpoints:
+//
+//	POST /v1/cells               submit one cell spec      -> job descriptor
+//	POST /v1/sweeps              submit one sweep spec     -> job descriptor
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/result    canonical result document (?wait=1 blocks)
+//	GET  /metrics                Prometheus text metrics
+//	GET  /healthz                liveness + drain state
+//
+// A full admission queue rejects with 429 + Retry-After; SIGINT/SIGTERM
+// drains: admission stops (503) while every accepted job runs to completion.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"svmsim/internal/exp"
+	"svmsim/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7117", "listen address")
+		size     = flag.String("size", "small", "problem size: small or default")
+		parallel = flag.Int("parallel", 0, "concurrent cell simulations per sweep (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persist finished cells to this directory and reuse them across restarts")
+		queue    = flag.Int("queue-depth", 64, "admission queue bound; overflow is 429")
+		workers  = flag.Int("workers", 2, "job worker pool size")
+		retry    = flag.Int("retry-after", 2, "Retry-After seconds advertised on 429")
+		reqTO    = flag.Duration("request-timeout", 10*time.Minute, "per-request handler timeout (bounds ?wait=1 long polls)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for accepted jobs before giving up")
+		verbose  = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+	if err := run(*addr, *size, *parallel, *cacheDir, *queue, *workers, *retry, *reqTO, *drainTO, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, size string, parallel int, cacheDir string, queue, workers, retry int, reqTO, drainTO time.Duration, verbose bool) error {
+	sizes := exp.Small
+	if strings.EqualFold(size, "default") {
+		sizes = exp.Default
+	}
+	suite := exp.NewSuite(sizes)
+	suite.Parallelism = parallel
+	suite.CacheDir = cacheDir
+	if verbose {
+		suite.Verbose = os.Stderr
+	}
+
+	srv, err := server.New(server.Config{
+		Suite:             suite,
+		QueueDepth:        queue,
+		Workers:           workers,
+		RetryAfterSeconds: retry,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           http.TimeoutHandler(srv.Handler(), reqTO, `{"error":{"kind":"timeout","message":"request timed out"}}`+"\n"),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "svmsimd: listening on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(os.Stderr, "svmsimd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(os.Stderr, "svmsimd: drained cleanly")
+	return nil
+}

@@ -7,15 +7,21 @@
 //	sweep -param interrupt
 //	sweep -param iobw -apps FFT,Radix
 //	sweep -param pagesize -mode aurc
+//	sweep -param interrupt -apps FFT -json        # schema-v1 document
+//	sweep -cell '{"workload":"FFT","procs":8}'    # one cell, schema-v1 document
+//
+// The -json and -cell outputs use the versioned wire schema of
+// internal/exp/codec.go — the same canonical bytes the svmsimd daemon
+// serves, so `sweep -json` and a daemon result for the same spec diff clean.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"svmsim"
 	"svmsim/internal/exp"
 )
 
@@ -28,6 +34,8 @@ func main() {
 		mode     = flag.String("mode", "hlrc", "protocol: hlrc or aurc")
 		parallel = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache-dir", "", "persist finished cells to this directory and reuse them across runs")
+		jsonOut  = flag.Bool("json", false, "emit the sweep as a schema-v1 JSON document instead of a rendered table")
+		cellSpec = flag.String("cell", "", "run one cell from an inline JSON cell spec and emit its schema-v1 result document")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -43,30 +51,69 @@ func main() {
 		s.Verbose = os.Stderr
 	}
 
-	wls := svmsim.Workloads()
-	if *appsFlag != "" {
-		want := map[string]bool{}
-		for _, n := range strings.Split(*appsFlag, ",") {
-			want[strings.ToLower(strings.TrimSpace(n))] = true
+	if *cellSpec != "" {
+		if err := runCell(s, *cellSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		var sel []svmsim.Workload
-		for _, w := range wls {
-			if want[strings.ToLower(w.Name)] {
-				sel = append(sel, w)
-			}
-		}
-		wls = sel
-	}
-	if len(wls) == 0 {
-		fmt.Fprintln(os.Stderr, "no matching workloads")
-		os.Exit(2)
+		return
 	}
 
-	aurc := strings.EqualFold(*mode, "aurc")
-	tbl, err := s.SweepParam(*param, wls, aurc)
+	spec := exp.SweepSpec{Param: *param, Mode: *mode}
+	if *appsFlag != "" {
+		for _, n := range strings.Split(*appsFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				spec.Apps = append(spec.Apps, n)
+			}
+		}
+	}
+	res, err := s.RunSweep(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		data, err := exp.EncodeSweepResult(res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	tbl := &exp.Table{ID: res.Table.ID, Title: res.Table.Title, Cols: res.Table.Cols}
+	for _, r := range res.Table.Rows {
+		row := exp.Row{Name: r.Name, Err: r.Err}
+		for _, v := range r.Values {
+			row.Values = append(row.Values, float64(v))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
 	fmt.Print(tbl.String())
+}
+
+// runCell executes one cell from an inline JSON spec and prints the
+// canonical result document. A failed cell still prints its structured
+// result (err_kind/err) and exits nonzero.
+func runCell(s *exp.Suite, raw string) error {
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var spec exp.CellSpec
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("parsing -cell spec: %w", err)
+	}
+	cell, err := s.ResolveCell(spec)
+	if err != nil {
+		return err
+	}
+	run, runErr := s.RunCell(cell)
+	data, err := exp.EncodeCellResult(exp.NewCellResult(cell.Key(), run, runErr))
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	if runErr != nil {
+		os.Exit(1)
+	}
+	return nil
 }

@@ -1,0 +1,408 @@
+// Versioned wire schema (v1) for experiment cells and their results. This is
+// the single codec shared by every consumer of serialized cells: the
+// persistent disk cache (diskcache.go), the -json output of cmd/sweep, and
+// the svmsimd HTTP daemon (internal/server) all encode through the functions
+// here, so a cell run over HTTP is byte-identical to the same cell run from
+// the CLI. The encoding is pinned by golden-file tests (codec_test.go);
+// renaming a JSON tag or changing the marshalling style is a breaking schema
+// change and must bump SchemaVersion.
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"svmsim"
+)
+
+// SchemaVersion is the current wire-schema version. Encoders stamp it into
+// every document; decoders reject documents from a different version (a
+// versioned miss, not a guess).
+const SchemaVersion = 1
+
+// CellSpec is the wire form of one simulation cell: a workload name plus the
+// studied communication parameters. Zero values mean "suite default" (the
+// paper's achievable baseline); the four communication parameters are
+// pointers because zero is a meaningful point in their studied ranges.
+type CellSpec struct {
+	// Schema is the wire-schema version; zero means current.
+	Schema int `json:"schema,omitempty"`
+	// Workload names one of the paper's applications (see svmsim.Workloads).
+	Workload string `json:"workload"`
+	// Uniprocessor derives the 1-processor baseline from the configuration
+	// (the numerator of every speedup).
+	Uniprocessor bool `json:"uniprocessor,omitempty"`
+	// Procs and PPN override the suite topology when positive.
+	Procs int `json:"procs,omitempty"`
+	PPN   int `json:"ppn,omitempty"`
+	// Mode selects the protocol: "hlrc" (default) or "aurc".
+	Mode string `json:"mode,omitempty"`
+	// The four communication parameters of the paper; nil keeps the
+	// baseline value.
+	HostOverheadCycles *uint64  `json:"host_overhead_cycles,omitempty"`
+	NIOccupancyCycles  *uint64  `json:"ni_occupancy_cycles,omitempty"`
+	IOBytesPerCycle    *float64 `json:"io_bytes_per_cycle,omitempty"`
+	IntrHalfCostCycles *uint64  `json:"intr_half_cost_cycles,omitempty"`
+	// PageBytes overrides the page size when positive.
+	PageBytes int `json:"page_bytes,omitempty"`
+	// IntrPolicy selects interrupt delivery: "static" (default) or
+	// "round-robin".
+	IntrPolicy string `json:"intr_policy,omitempty"`
+	// Requests selects request handling: "interrupts" (default), "polling"
+	// or "dedicated".
+	Requests string `json:"requests,omitempty"`
+	// NIServePages serves page requests on the programmable NI.
+	NIServePages bool `json:"ni_serve_pages,omitempty"`
+	// NIsPerNode replicates the network interface when positive.
+	NIsPerNode int `json:"nis_per_node,omitempty"`
+	// AllLocal artificially satisfies all page faults locally (the Section 7
+	// ablation).
+	AllLocal bool `json:"all_local,omitempty"`
+}
+
+// ResolveCell turns a wire spec into a runnable cell on this suite's
+// baseline. Unknown workloads, modes or policies and topology/config
+// inconsistencies are reported as errors (the daemon's 400s), never guessed.
+func (s *Suite) ResolveCell(spec CellSpec) (Cell, error) {
+	if spec.Schema != 0 && spec.Schema != SchemaVersion {
+		return Cell{}, fmt.Errorf("exp: unsupported schema version %d (have %d)", spec.Schema, SchemaVersion)
+	}
+	w, err := WorkloadByName(spec.Workload)
+	if err != nil {
+		return Cell{}, err
+	}
+	cfg := s.Base()
+	if spec.Procs > 0 {
+		cfg.Procs = spec.Procs
+	}
+	if spec.PPN > 0 {
+		cfg.ProcsPerNode = spec.PPN
+	}
+	switch strings.ToLower(spec.Mode) {
+	case "", "hlrc":
+		cfg.Proto.Mode = svmsim.HLRC
+	case "aurc":
+		cfg.Proto.Mode = svmsim.AURC
+	default:
+		return Cell{}, fmt.Errorf("exp: unknown protocol mode %q (want hlrc or aurc)", spec.Mode)
+	}
+	if spec.HostOverheadCycles != nil {
+		cfg.Net.HostOverheadCycles = *spec.HostOverheadCycles
+	}
+	if spec.NIOccupancyCycles != nil {
+		cfg.Net.NIOccupancyCycles = *spec.NIOccupancyCycles
+	}
+	if spec.IOBytesPerCycle != nil {
+		cfg.Net.IOBytesPerCycle = *spec.IOBytesPerCycle
+	}
+	if spec.IntrHalfCostCycles != nil {
+		cfg.IntrHalfCostCycles = *spec.IntrHalfCostCycles
+	}
+	if spec.PageBytes > 0 {
+		cfg.Proto.PageBytes = spec.PageBytes
+	}
+	switch strings.ToLower(spec.IntrPolicy) {
+	case "", "static":
+		cfg.IntrPolicy = svmsim.IntrStatic
+	case "round-robin", "roundrobin":
+		cfg.IntrPolicy = svmsim.IntrRoundRobin
+	default:
+		return Cell{}, fmt.Errorf("exp: unknown interrupt policy %q (want static or round-robin)", spec.IntrPolicy)
+	}
+	switch strings.ToLower(spec.Requests) {
+	case "", "interrupts":
+		cfg.Requests = svmsim.RequestInterrupts
+	case "polling":
+		cfg.Requests = svmsim.RequestPolling
+	case "dedicated":
+		cfg.Requests = svmsim.RequestDedicated
+	default:
+		return Cell{}, fmt.Errorf("exp: unknown request handling %q (want interrupts, polling or dedicated)", spec.Requests)
+	}
+	if spec.NIServePages {
+		cfg.NIServePages = true
+	}
+	if spec.NIsPerNode > 0 {
+		cfg.NIsPerNode = spec.NIsPerNode
+	}
+	if spec.AllLocal {
+		cfg.Proto.AllLocal = true
+	}
+	if spec.Uniprocessor {
+		cfg = svmsim.Uniprocessor(cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Cell{}, err
+	}
+	return Cell{Cfg: cfg, W: w}, nil
+}
+
+// WorkloadByName resolves a workload by its presentation name
+// (case-insensitive).
+func WorkloadByName(name string) (svmsim.Workload, error) {
+	for _, w := range svmsim.Workloads() {
+		if strings.EqualFold(w.Name, name) {
+			return w, nil
+		}
+	}
+	return svmsim.Workload{}, fmt.Errorf("exp: unknown workload %q", name)
+}
+
+// SelectWorkloads resolves a list of workload names, preserving the suite's
+// presentation order; an empty list selects every workload. Unknown names
+// are errors, not silent drops.
+func SelectWorkloads(names []string) ([]svmsim.Workload, error) {
+	if len(names) == 0 {
+		return svmsim.Workloads(), nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, err := WorkloadByName(n); err != nil {
+			return nil, err
+		}
+		want[strings.ToLower(n)] = true
+	}
+	var out []svmsim.Workload
+	for _, w := range svmsim.Workloads() {
+		if want[strings.ToLower(w.Name)] {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// CellResult is the wire and disk form of one finished cell: either the full
+// run statistics or the structured error, never both. It doubles as the
+// persistent cache entry (the key guards against digest collisions) and as
+// the daemon's result body.
+type CellResult struct {
+	Schema int              `json:"schema"`
+	Key    string           `json:"key"`
+	Run    *svmsim.RunStats `json:"run,omitempty"`
+	// ErrKind classifies a failed cell ("stall", "lost_page",
+	// "link_failure" or "failed"); it survives the disk cache, so a
+	// daemon restart reports the same structured kind.
+	ErrKind string `json:"err_kind,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// NewCellResult builds the wire form of a finished cell.
+func NewCellResult(key string, run *svmsim.RunStats, err error) CellResult {
+	r := CellResult{Schema: SchemaVersion, Key: key}
+	if err != nil {
+		r.ErrKind = ErrKind(err)
+		r.Err = err.Error()
+	} else {
+		r.Run = run
+	}
+	return r
+}
+
+// ErrKind classifies an error into the wire schema's structured kinds: the
+// typed, deterministic simulator failures keep their identity; everything
+// else (panics, validation at run time) is "failed". Kinds survive the disk
+// cache via cachedError.
+func ErrKind(err error) string {
+	var c *cachedError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &c):
+		return c.kind
+	case errors.As(err, new(*svmsim.StallError)):
+		return "stall"
+	case errors.As(err, new(*svmsim.LostPageError)):
+		return "lost_page"
+	case errors.As(err, new(*svmsim.LinkFailureError)):
+		return "link_failure"
+	default:
+		return "failed"
+	}
+}
+
+// cachedError carries a structured error kind across the disk cache, where
+// the original typed error has been flattened to text.
+type cachedError struct{ kind, msg string }
+
+func (e *cachedError) Error() string { return e.msg }
+
+// EncodeCellResult renders the canonical encoding of a cell result: indented
+// JSON with a trailing newline, identical bytes from the CLI, the daemon and
+// the disk cache.
+func EncodeCellResult(r CellResult) ([]byte, error) {
+	return encodeDoc(r)
+}
+
+// DecodeCellResult parses a canonical cell-result document, rejecting other
+// schema versions.
+func DecodeCellResult(data []byte) (CellResult, error) {
+	var r CellResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return CellResult{}, err
+	}
+	if r.Schema != SchemaVersion {
+		return CellResult{}, fmt.Errorf("exp: unsupported schema version %d (have %d)", r.Schema, SchemaVersion)
+	}
+	return r, nil
+}
+
+// SweepSpec is the wire form of a single-parameter sweep: the cmd/sweep
+// query shape (one paper figure), addressable over HTTP.
+type SweepSpec struct {
+	// Schema is the wire-schema version; zero means current.
+	Schema int `json:"schema,omitempty"`
+	// Param names the swept parameter: overhead, occupancy, iobw,
+	// interrupt, pagesize or clustering.
+	Param string `json:"param"`
+	// Apps selects a workload subset; empty means all.
+	Apps []string `json:"apps,omitempty"`
+	// Mode selects the protocol: "hlrc" (default) or "aurc".
+	Mode string `json:"mode,omitempty"`
+}
+
+// SweepResult is the wire form of a finished sweep: the rendered table in
+// structured form.
+type SweepResult struct {
+	Schema int         `json:"schema"`
+	Param  string      `json:"param"`
+	Mode   string      `json:"mode"`
+	Table  TableResult `json:"table"`
+}
+
+// TableResult is the structured form of a rendered Table.
+type TableResult struct {
+	ID    string      `json:"id"`
+	Title string      `json:"title"`
+	Cols  []string    `json:"cols"`
+	Rows  []RowResult `json:"rows"`
+}
+
+// RowResult is one application's row; Err is set on a degraded error row.
+type RowResult struct {
+	Name   string  `json:"name"`
+	Values []Float `json:"values,omitempty"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// Float is a float64 whose JSON encoding tolerates the non-finite values
+// tables legitimately contain (NaN marks "data lost" in the node-crash
+// sweep): NaN and ±Inf encode as null, everything else exactly as
+// encoding/json encodes a float64.
+type Float float64
+
+// MarshalJSON implements the null-for-non-finite encoding.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON decodes null back to NaN.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// TableToResult converts a rendered table to its wire form.
+func TableToResult(t *Table) TableResult {
+	tr := TableResult{ID: t.ID, Title: t.Title, Cols: t.Cols}
+	for _, r := range t.Rows {
+		rr := RowResult{Name: r.Name, Err: r.Err}
+		for _, v := range r.Values {
+			rr.Values = append(rr.Values, Float(v))
+		}
+		tr.Rows = append(tr.Rows, rr)
+	}
+	return tr
+}
+
+// ResolveSweep validates a sweep spec, returning its workloads and protocol
+// selection.
+func (s *Suite) ResolveSweep(spec SweepSpec) ([]svmsim.Workload, bool, error) {
+	if spec.Schema != 0 && spec.Schema != SchemaVersion {
+		return nil, false, fmt.Errorf("exp: unsupported schema version %d (have %d)", spec.Schema, SchemaVersion)
+	}
+	switch spec.Param {
+	case "overhead", "occupancy", "iobw", "interrupt", "pagesize", "clustering":
+	default:
+		return nil, false, fmt.Errorf("exp: unknown parameter %q", spec.Param)
+	}
+	var aurc bool
+	switch strings.ToLower(spec.Mode) {
+	case "", "hlrc":
+	case "aurc":
+		aurc = true
+	default:
+		return nil, false, fmt.Errorf("exp: unknown protocol mode %q (want hlrc or aurc)", spec.Mode)
+	}
+	wls, err := SelectWorkloads(spec.Apps)
+	if err != nil {
+		return nil, false, err
+	}
+	return wls, aurc, nil
+}
+
+// RunSweep executes a sweep spec end to end and returns its wire-form
+// result; it is the programmatic equivalent of cmd/sweep (and what both the
+// CLI's -json mode and the daemon's sweep jobs call, so their outputs are
+// byte-identical).
+func (s *Suite) RunSweep(spec SweepSpec) (SweepResult, error) {
+	wls, aurc, err := s.ResolveSweep(spec)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	tbl, err := s.SweepParam(spec.Param, wls, aurc)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	mode := "hlrc"
+	if aurc {
+		mode = "aurc"
+	}
+	return SweepResult{Schema: SchemaVersion, Param: spec.Param, Mode: mode, Table: TableToResult(tbl)}, nil
+}
+
+// EncodeSweepResult renders the canonical encoding of a sweep result.
+func EncodeSweepResult(r SweepResult) ([]byte, error) {
+	return encodeDoc(r)
+}
+
+// DecodeSweepResult parses a canonical sweep-result document.
+func DecodeSweepResult(data []byte) (SweepResult, error) {
+	var r SweepResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return SweepResult{}, err
+	}
+	if r.Schema != SchemaVersion {
+		return SweepResult{}, fmt.Errorf("exp: unsupported schema version %d (have %d)", r.Schema, SchemaVersion)
+	}
+	return r, nil
+}
+
+// encodeDoc is the one marshalling style of the schema: two-space indented
+// JSON with a trailing newline. Byte-for-byte diffability between producers
+// depends on every document going through here.
+func encodeDoc(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

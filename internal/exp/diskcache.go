@@ -3,24 +3,20 @@ package exp
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
-	"errors"
 	"os"
 	"path/filepath"
 
 	"svmsim"
 )
 
-// cacheEntry is the on-disk form of one memoized cell: the full cell key (a
-// collision/truncation guard — the filename is only its hash), and either
-// the run statistics or the rendered error, exactly as the in-memory memo
-// would hold them. The simulator is deterministic, so entries never go
-// stale for a given key; changing any configuration field changes the key.
-type cacheEntry struct {
-	Key string
-	Run *svmsim.RunStats `json:",omitempty"`
-	Err string           `json:",omitempty"`
-}
+// The persistent cell cache stores one CellResult document (the versioned
+// wire schema of codec.go) per finished cell, so a cache entry is the exact
+// bytes the daemon serves and cmd/sweep -cell prints. The full cell key
+// inside the document is a collision/truncation guard — the filename is only
+// its hash — and the schema version makes entries from an older encoding a
+// clean miss instead of a misparse. The simulator is deterministic, so
+// entries never go stale for a given key; changing any configuration field
+// changes the key.
 
 // cellPath maps a cell key to its spill file. Keys embed workload names and
 // free-form plan strings, so the filename is a digest rather than the key.
@@ -30,19 +26,24 @@ func cellPath(dir, key string) string {
 }
 
 // loadCell reads a spilled cell. Any defect — missing file, torn or corrupt
-// JSON, a digest collision — is a plain cache miss: the caller re-simulates
-// and overwrites the entry.
+// JSON, a schema-version mismatch, a digest collision — is a plain cache
+// miss: the caller re-simulates and overwrites the entry. A cached error
+// keeps its structured kind (see ErrKind) via cachedError.
 func (s *Suite) loadCell(key string) (*svmsim.RunStats, error, bool) {
 	data, err := os.ReadFile(cellPath(s.CacheDir, key))
 	if err != nil {
 		return nil, nil, false
 	}
-	var e cacheEntry
-	if json.Unmarshal(data, &e) != nil || e.Key != key {
+	e, err := DecodeCellResult(data)
+	if err != nil || e.Key != key {
 		return nil, nil, false
 	}
 	if e.Err != "" {
-		return nil, errors.New(e.Err), true
+		kind := e.ErrKind
+		if kind == "" {
+			kind = "failed"
+		}
+		return nil, &cachedError{kind: kind, msg: e.Err}, true
 	}
 	if e.Run == nil {
 		return nil, nil, false
@@ -52,17 +53,15 @@ func (s *Suite) loadCell(key string) (*svmsim.RunStats, error, bool) {
 
 // spillCell writes one finished cell atomically: marshal to a unique temp
 // file in the cache directory, then rename over the final path, so a reader
-// (or a concurrent sweep sharing the directory) sees either the old entry or
-// the complete new one, never a torn write. Spill failures are deliberately
-// silent — the disk cache is an accelerator, not a correctness layer, and
-// the in-memory memo already holds the result.
+// — or a racing writer in another process sharing the directory — sees
+// either the old complete entry or the new complete one, never a torn
+// write; concurrent writers of the same key settle on whichever rename
+// lands last, and both wrote identical bytes anyway (the simulator is
+// deterministic). Spill failures are deliberately silent — the disk cache
+// is an accelerator, not a correctness layer, and the in-memory memo
+// already holds the result.
 func (s *Suite) spillCell(key string, run *svmsim.RunStats, runErr error) {
-	e := cacheEntry{Key: key, Run: run}
-	if runErr != nil {
-		e.Err = runErr.Error()
-		e.Run = nil
-	}
-	data, err := json.Marshal(&e)
+	data, err := EncodeCellResult(NewCellResult(key, run, runErr))
 	if err != nil {
 		return
 	}

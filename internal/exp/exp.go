@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"svmsim"
+	"svmsim/internal/walltime"
 )
 
 // Size selects problem sizes for the whole suite.
@@ -51,12 +52,61 @@ type Suite struct {
 	CacheDir string
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
+	// Observe, when non-nil, receives one CellEvent per cell request served
+	// (memo hit, in-flight join, disk hit, or fresh simulation). It is the
+	// suite's observability seam — the svmsimd daemon's cache-hit/miss and
+	// latency metrics hang off it. Set it before the suite serves traffic;
+	// the callback must be safe for concurrent use and cheap (it runs on
+	// the worker's path).
+	Observe func(CellEvent)
 
 	mu     sync.Mutex
 	logMu  sync.Mutex
 	cache  map[string]*svmsim.Result
 	errs   map[string]error
 	flight map[string]*flight
+}
+
+// CellSource says where a served cell result came from.
+type CellSource int
+
+const (
+	// SourceMemo is an in-memory memo hit (result or cached error).
+	SourceMemo CellSource = iota
+	// SourceFlight joined an in-flight simulation started by another caller.
+	SourceFlight
+	// SourceDisk is a persistent-cache hit (CacheDir).
+	SourceDisk
+	// SourceSim is a fresh simulation.
+	SourceSim
+)
+
+// String names the source for metrics labels.
+func (s CellSource) String() string {
+	switch s {
+	case SourceMemo:
+		return "memo"
+	case SourceFlight:
+		return "flight"
+	case SourceDisk:
+		return "disk"
+	case SourceSim:
+		return "sim"
+	}
+	return fmt.Sprintf("CellSource(%d)", int(s))
+}
+
+// CellEvent describes one served cell request (see Suite.Observe).
+type CellEvent struct {
+	// Key is the cell's content-address (Cell.Key).
+	Key string
+	// Source says where the result came from.
+	Source CellSource
+	// Err is the cell's error, if it failed.
+	Err error
+	// Seconds is the wall-clock simulation time; nonzero only for
+	// SourceSim (harness diagnostics, never simulated behavior).
+	Seconds float64
 }
 
 // flight is one in-progress (or just-finished) simulation shared by every
@@ -132,17 +182,27 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 	key := w.Name + "|" + cfgKey(cfg)
 	s.mu.Lock()
 	s.ensure()
+	observe := s.Observe
 	if r, ok := s.cache[key]; ok {
 		s.mu.Unlock()
+		if observe != nil {
+			observe(CellEvent{Key: key, Source: SourceMemo})
+		}
 		return r.Run, nil
 	}
 	if err, ok := s.errs[key]; ok {
 		s.mu.Unlock()
+		if observe != nil {
+			observe(CellEvent{Key: key, Source: SourceMemo, Err: err})
+		}
 		return nil, err
 	}
 	if f, ok := s.flight[key]; ok {
 		s.mu.Unlock()
 		<-f.done
+		if observe != nil {
+			observe(CellEvent{Key: key, Source: SourceFlight, Err: f.err})
+		}
 		return f.run, f.err
 	}
 	f := &flight{done: make(chan struct{})}
@@ -153,10 +213,11 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 
 	var res *svmsim.Result
 	var err error
+	source := SourceSim
 	hit := false
 	if s.CacheDir != "" {
 		if run, derr, ok := s.loadCell(key); ok {
-			hit, err = true, derr
+			hit, err, source = true, derr, SourceDisk
 			if derr == nil {
 				res = &svmsim.Result{Run: run}
 			}
@@ -165,6 +226,7 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 			}
 		}
 	}
+	var simSeconds float64
 	for attempt := 0; !hit; attempt++ {
 		if verbose != nil {
 			if attempt == 0 {
@@ -173,7 +235,9 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 				s.logf(verbose, "retry %-10s %s (attempt %d: %v)\n", w.Name, cfgKey(cfg), attempt+1, err)
 			}
 		}
+		sw := walltime.Start()
 		res, err = s.simulate(cfg, w)
+		simSeconds += sw.Seconds()
 		if err == nil || attempt >= retries || deterministicErr(err) {
 			break
 		}
@@ -202,7 +266,16 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 	delete(s.flight, key)
 	s.mu.Unlock()
 	close(f.done)
+	if observe != nil {
+		observe(CellEvent{Key: key, Source: source, Err: err, Seconds: simSeconds})
+	}
 	return f.run, f.err
+}
+
+// RunCell executes (or serves from cache) one cell: the programmatic entry
+// point behind cmd/sweep's -cell mode and the daemon's cell jobs.
+func (s *Suite) RunCell(c Cell) (*svmsim.RunStats, error) {
+	return s.run(c.Cfg, c.W)
 }
 
 // deterministicErr reports whether an error is a structured, reproducible

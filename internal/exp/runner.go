@@ -16,8 +16,10 @@ type Cell struct {
 	W   svmsim.Workload
 }
 
-// key identifies the cell in the suite's memo cache.
-func (c Cell) key() string { return c.W.Name + "|" + cfgKey(c.Cfg) }
+// Key is the cell's content-address: the string that keys the in-memory
+// memo, the persistent disk cache (as a sha256 digest) and the daemon's
+// result store. Two cells with equal keys are the same simulation.
+func (c Cell) Key() string { return c.W.Name + "|" + cfgKey(c.Cfg) }
 
 // Runner executes a batch of cells on a bounded worker pool, deduplicating
 // cells that share a key (within the batch, and — through the suite's
@@ -54,7 +56,7 @@ func (r *Runner) Run(cells []Cell) error {
 	seen := make(map[string]bool, len(cells))
 	unique := make([]Cell, 0, len(cells))
 	for _, c := range cells {
-		k := c.key()
+		k := c.Key()
 		if seen[k] {
 			continue
 		}

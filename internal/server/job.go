@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+
+	"svmsim/internal/exp"
+)
+
+// Job lifecycle states.
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusFailed  = "failed"
+)
+
+// job is one accepted unit of work: a cell or a sweep. Once accepted a job
+// is never dropped — it either runs to completion on the worker pool or is
+// drained to completion at shutdown; admission control (429) happens before
+// a job exists.
+type job struct {
+	id   string
+	kind string // "cell" or "sweep"
+	key  string // content address of the underlying work
+
+	cell  exp.Cell      // kind == "cell"
+	sweep exp.SweepSpec // kind == "sweep"
+
+	// Guarded by the server mutex.
+	status  string
+	cached  bool   // served from the result store, zero simulations
+	errKind string // structured error classification when failed
+	errMsg  string
+	result  []byte // canonical result document (also set for failed cells)
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// stored is one content-addressed result store entry: the canonical result
+// bytes plus the error classification a resubmission must reproduce.
+type stored struct {
+	result  []byte
+	errKind string
+	errMsg  string
+}
+
+// workers run jobs from the queue until it is closed (drain).
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job and publishes its terminal state and result
+// bytes. A failed cell still produces a result document (the structured
+// CellResult carrying err_kind/err), exactly as the disk cache stores it.
+func (s *Server) runJob(j *job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	s.setRunning(j)
+
+	var data []byte
+	var errKind, errMsg string
+	var encErr error
+	switch j.kind {
+	case "cell":
+		run, err := s.suite.RunCell(j.cell)
+		if err != nil {
+			errKind, errMsg = exp.ErrKind(err), err.Error()
+		}
+		data, encErr = exp.EncodeCellResult(exp.NewCellResult(j.key, run, err))
+	case "sweep":
+		res, err := s.suite.RunSweep(j.sweep)
+		if err != nil {
+			errKind, errMsg = exp.ErrKind(err), err.Error()
+		} else {
+			data, encErr = exp.EncodeSweepResult(res)
+		}
+	default:
+		errKind, errMsg = "failed", fmt.Sprintf("unknown job kind %q", j.kind)
+	}
+	if encErr != nil {
+		errKind, errMsg = "failed", "encoding result: "+encErr.Error()
+		data = nil
+	}
+	s.finishJob(j, data, errKind, errMsg)
+}
+
+// setRunning marks a job as executing.
+func (s *Server) setRunning(j *job) {
+	s.mu.Lock()
+	j.status = statusRunning
+	s.mu.Unlock()
+}
+
+// finishJob publishes a terminal state, stores the result under its content
+// key, and updates the metrics.
+func (s *Server) finishJob(j *job, data []byte, errKind, errMsg string) {
+	s.mu.Lock()
+	j.result = data
+	j.errKind, j.errMsg = errKind, errMsg
+	if errMsg != "" {
+		j.status = statusFailed
+	} else {
+		j.status = statusDone
+	}
+	if data != nil {
+		s.store[j.key] = stored{result: data, errKind: errKind, errMsg: errMsg}
+	}
+	s.mu.Unlock()
+	s.metrics.finished(errMsg != "")
+	close(j.done)
+}
+
+// newJobLocked allocates a job record and registers it; the caller holds
+// s.mu. Job IDs are a process-local sequence — no clocks, no randomness.
+func (s *Server) newJobLocked(kind, key string) *job {
+	s.seq++
+	j := &job{
+		id:     fmt.Sprintf("j%d", s.seq),
+		kind:   kind,
+		key:    key,
+		status: statusQueued,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	return j
+}
+
+// evictLocked bounds the completed-job index: when more than maxJobs records
+// exist, the oldest terminal jobs are forgotten (their results stay in the
+// content-addressed store). Queued or running jobs are never evicted.
+func (s *Server) evictLocked() {
+	for len(s.jobs) > s.maxJobs {
+		evicted := false
+		for i, id := range s.order {
+			j, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			if j.status == statusDone || j.status == statusFailed {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; let the map grow rather than lose a job
+		}
+	}
+}
+
+// inflightCount is the inflight gauge reader.
+func (s *Server) inflightCount() int { return int(s.inflight.Load()) }

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"svmsim/internal/exp"
+)
+
+// metrics is the daemon's Prometheus registry, stdlib only: a handful of
+// counters and gauges plus one latency histogram, rendered in the Prometheus
+// text exposition format by render. Everything is guarded by one mutex —
+// the daemon's request rates are nowhere near the point where a sharded
+// registry would matter, and one lock keeps scrapes consistent.
+type metrics struct {
+	mu sync.Mutex
+
+	jobsAccepted map[string]uint64 // by kind: cell, sweep
+	jobsDone     uint64
+	jobsFailed   uint64
+	jobsRejected uint64 // 429s: queue full
+	jobsRefused  uint64 // 503s: draining
+
+	cacheHits   map[string]uint64 // by layer: store, memo, flight, disk
+	cacheMisses uint64
+	cellsSim    uint64
+
+	latency histogram
+
+	// Gauges are read live at scrape time.
+	queueDepth func() int
+	inflight   func() int
+}
+
+func newMetrics(queueDepth, inflight func() int) *metrics {
+	return &metrics{
+		jobsAccepted: make(map[string]uint64),
+		cacheHits:    make(map[string]uint64),
+		latency:      newHistogram(),
+		queueDepth:   queueDepth,
+		inflight:     inflight,
+	}
+}
+
+func (m *metrics) accepted(kind string) {
+	m.mu.Lock()
+	m.jobsAccepted[kind]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) finished(failed bool) {
+	m.mu.Lock()
+	if failed {
+		m.jobsFailed++
+	} else {
+		m.jobsDone++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) rejected() {
+	m.mu.Lock()
+	m.jobsRejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) refused() {
+	m.mu.Lock()
+	m.jobsRefused++
+	m.mu.Unlock()
+}
+
+func (m *metrics) storeHit() {
+	m.mu.Lock()
+	m.cacheHits["store"]++
+	m.mu.Unlock()
+}
+
+// observe is the exp.Suite observability hook: every cell served by the
+// suite lands here, classifying cache layers and feeding the latency
+// histogram for fresh simulations.
+func (m *metrics) observe(ev exp.CellEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Source {
+	case exp.SourceSim:
+		m.cacheMisses++
+		m.cellsSim++
+		m.latency.observe(ev.Seconds)
+	default:
+		m.cacheHits[ev.Source.String()]++
+	}
+}
+
+// snapshotCounter reads one named counter (test and smoke-script helper).
+func (m *metrics) cellsSimulated() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cellsSim
+}
+
+// render writes the registry in the Prometheus text exposition format.
+// Label sets are emitted in sorted order so scrapes are deterministic.
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	labeled := func(name, help, label string, vals map[string]uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+		}
+	}
+
+	gauge("svmsimd_queue_depth", "Jobs waiting in the admission queue.", m.queueDepth())
+	gauge("svmsimd_jobs_inflight", "Jobs currently executing on the worker pool.", m.inflight())
+	labeled("svmsimd_jobs_accepted_total", "Jobs admitted to the queue or served from the result store, by kind.", "kind", m.jobsAccepted)
+	counter("svmsimd_jobs_done_total", "Jobs finished successfully.", m.jobsDone)
+	counter("svmsimd_jobs_failed_total", "Jobs finished with a simulation error.", m.jobsFailed)
+	counter("svmsimd_jobs_rejected_total", "Submissions rejected with 429 because the queue was full.", m.jobsRejected)
+	counter("svmsimd_jobs_refused_total", "Submissions refused with 503 during drain.", m.jobsRefused)
+	labeled("svmsimd_cache_hits_total", "Cells served without a fresh simulation, by cache layer.", "layer", m.cacheHits)
+	counter("svmsimd_cache_misses_total", "Cells that required a fresh simulation.", m.cacheMisses)
+	counter("svmsimd_cells_simulated_total", "Fresh simulations executed.", m.cellsSim)
+	m.latency.writeTo(w, "svmsimd_cell_latency_seconds", "Wall-clock simulation time per freshly simulated cell.")
+}
+
+// histogram is a fixed-bucket Prometheus histogram (cumulative on render).
+type histogram struct {
+	bounds []float64 // upper bounds of each bucket, seconds
+	counts []uint64  // non-cumulative per-bucket counts; len(bounds)+1 with +Inf last
+	sum    float64
+	count  uint64
+}
+
+func newHistogram() histogram {
+	bounds := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+	return histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+func (h *histogram) writeTo(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.sum, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}

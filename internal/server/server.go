@@ -1,0 +1,369 @@
+// Package server implements svmsimd, the sweep-serving daemon: an HTTP
+// front end over an exp.Suite that accepts experiment cells and whole sweeps
+// as JSON (the versioned schema of internal/exp/codec.go), runs them on a
+// bounded worker pool, and serves results from a content-addressed store so a
+// resubmitted experiment costs zero simulations. Admission control is
+// explicit: a full queue rejects with 429 + Retry-After rather than queueing
+// unboundedly, and a draining server refuses new work with 503 while running
+// every job it already accepted to completion.
+//
+// The package deliberately has no clocks: simulation latency is measured
+// inside internal/exp (via internal/walltime) and arrives through the
+// Suite.Observe hook; request deadlines belong to the caller's context
+// (cmd/svmsimd wraps handlers in http.TimeoutHandler).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"svmsim"
+	"svmsim/internal/exp"
+)
+
+// Config sizes a Server. The zero value of any field selects its default.
+type Config struct {
+	// Suite executes the work; required. The server installs (and chains)
+	// its Observe hook at construction time.
+	Suite *exp.Suite
+	// QueueDepth bounds the admission queue (default 64). Submissions
+	// beyond it are rejected with 429 + Retry-After.
+	QueueDepth int
+	// Workers sizes the job worker pool (default 2). Each worker runs one
+	// job at a time; cell parallelism inside a sweep is the Suite's.
+	Workers int
+	// RetryAfterSeconds is advertised in the Retry-After header of 429
+	// responses (default 2).
+	RetryAfterSeconds int
+	// MaxJobs bounds the job index (default 1024); the oldest finished
+	// jobs are evicted first, their results remaining addressable through
+	// the content store.
+	MaxJobs int
+}
+
+// Server is the svmsimd daemon core: routing, job queue, worker pool,
+// content-addressed result store and metrics registry. Create with New,
+// serve via Handler, stop via Drain.
+type Server struct {
+	suite   *exp.Suite
+	queue   chan *job
+	metrics *metrics
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job IDs in creation order, for eviction
+	store    map[string]stored
+	seq      uint64
+	draining bool
+
+	workers  sync.WaitGroup
+	inflight atomic.Int64
+	maxJobs  int
+	retry    string // Retry-After value for 429s
+}
+
+// New builds a Server over cfg.Suite and starts its worker pool. The suite's
+// Observe hook is chained, not replaced, so callers keep their own
+// observability.
+func New(cfg Config) (*Server, error) {
+	if cfg.Suite == nil {
+		return nil, fmt.Errorf("server: Config.Suite is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 2
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	s := &Server{
+		suite:   cfg.Suite,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		store:   make(map[string]stored),
+		maxJobs: cfg.MaxJobs,
+		retry:   strconv.Itoa(cfg.RetryAfterSeconds),
+	}
+	s.metrics = newMetrics(func() int { return len(s.queue) }, s.inflightCount)
+
+	prev := cfg.Suite.Observe
+	cfg.Suite.Observe = func(ev exp.CellEvent) {
+		if prev != nil {
+			prev(ev)
+		}
+		s.metrics.observe(ev)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells", s.handleSubmitCell)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler exposes the daemon's routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admission and runs every accepted job to completion, or until
+// ctx expires. It is idempotent; after the first call every submission is
+// refused with 503.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain cut short with %d job(s) in flight", s.inflightCount())
+	}
+}
+
+// jobView is the wire form of a job descriptor: compact single-line JSON so
+// shell clients can capture `.id` without a JSON tool chain.
+type jobView struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	Key     string `json:"key"`
+	Status  string `json:"status"`
+	Cached  bool   `json:"cached,omitempty"`
+	ErrKind string `json:"err_kind,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+func viewLocked(j *job) jobView {
+	return jobView{ID: j.id, Kind: j.kind, Key: j.key, Status: j.status,
+		Cached: j.cached, ErrKind: j.errKind, Err: j.errMsg}
+}
+
+// handleSubmitCell admits one cell: POST /v1/cells with a CellSpec body.
+func (s *Server) handleSubmitCell(w http.ResponseWriter, r *http.Request) {
+	var spec exp.CellSpec
+	if !decodeSpec(w, r, &spec) {
+		return
+	}
+	cell, err := s.suite.ResolveCell(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	s.submit(w, &job{kind: "cell", key: cell.Key(), cell: cell})
+}
+
+// handleSubmitSweep admits one sweep: POST /v1/sweeps with a SweepSpec body.
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec exp.SweepSpec
+	if !decodeSpec(w, r, &spec) {
+		return
+	}
+	wls, aurc, err := s.suite.ResolveSweep(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	s.submit(w, &job{kind: "sweep", key: sweepKey(spec.Param, aurc, wls), sweep: spec})
+}
+
+// sweepKey content-addresses a sweep by its resolved (not as-written)
+// parameters, so "fft" and "FFT" and the spelled-out default workload list
+// all land on one store entry.
+func sweepKey(param string, aurc bool, wls []svmsim.Workload) string {
+	mode := "hlrc"
+	if aurc {
+		mode = "aurc"
+	}
+	names := make([]string, 0, len(wls))
+	for _, w := range wls {
+		names = append(names, w.Name)
+	}
+	return "sweep|param=" + param + "|mode=" + mode + "|apps=" + strings.Join(names, ",")
+}
+
+// submit runs admission control for a prepared job: store hit bypasses the
+// queue entirely, a full queue is 429, a draining server is 503. Accepted
+// jobs are never dropped.
+func (s *Server) submit(w http.ResponseWriter, proto *job) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.refused()
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting new work")
+		return
+	}
+	if hit, ok := s.store[proto.key]; ok {
+		j := s.newJobLocked(proto.kind, proto.key)
+		j.cached = true
+		j.result = hit.result
+		j.errKind, j.errMsg = hit.errKind, hit.errMsg
+		if hit.errMsg != "" {
+			j.status = statusFailed
+		} else {
+			j.status = statusDone
+		}
+		close(j.done)
+		view := viewLocked(j)
+		s.mu.Unlock()
+		s.metrics.accepted(proto.kind)
+		s.metrics.storeHit()
+		writeJSONLine(w, http.StatusOK, view)
+		return
+	}
+	j := s.newJobLocked(proto.kind, proto.key)
+	j.cell, j.sweep = proto.cell, proto.sweep
+	select {
+	case s.queue <- j:
+		view := viewLocked(j)
+		s.mu.Unlock()
+		s.metrics.accepted(proto.kind)
+		writeJSONLine(w, http.StatusAccepted, view)
+	default:
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.metrics.rejected()
+		w.Header().Set("Retry-After", s.retry)
+		writeError(w, http.StatusTooManyRequests, "queue_full", "admission queue is full; retry later")
+	}
+}
+
+// handleJobStatus reports one job: GET /v1/jobs/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var view jobView
+	if ok {
+		view = viewLocked(j)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	writeJSONLine(w, http.StatusOK, view)
+}
+
+// handleJobResult serves a finished job's canonical result document:
+// GET /v1/jobs/{id}/result. ?wait=1 blocks until the job finishes or the
+// request context expires. A failed job yields a structured error body
+// carrying the typed failure kind (stall, lost_page, link_failure, failed).
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "timeout", "job still running when the request deadline passed")
+			return
+		}
+	}
+	s.mu.Lock()
+	status, kind, msg, data := j.status, j.errKind, j.errMsg, j.result
+	s.mu.Unlock()
+	switch status {
+	case statusQueued, statusRunning:
+		writeError(w, http.StatusConflict, "pending", "job has not finished; poll again or use ?wait=1")
+	case statusFailed:
+		writeError(w, http.StatusInternalServerError, kind, msg)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	}
+}
+
+// handleMetrics renders the Prometheus registry: GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w)
+}
+
+// handleHealthz reports liveness and drain state: GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSONLine(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// decodeSpec strictly parses a JSON request body (unknown fields are 400s —
+// a misspelled parameter must not silently run the baseline).
+func decodeSpec(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "parsing request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeJSONLine writes one compact JSON object plus newline.
+func writeJSONLine(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "failed", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// errorBody is the structured error envelope of every non-2xx response.
+type errorBody struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string) {
+	var body errorBody
+	body.Error.Kind, body.Error.Message = kind, msg
+	data, _ := json.Marshal(body)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

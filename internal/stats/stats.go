@@ -37,36 +37,44 @@ func (k TimeKind) String() string {
 }
 
 // Proc accumulates per-processor statistics for one simulation run.
+//
+// The JSON tags are a versioned wire contract (schema v1, see internal/exp's
+// codec): the persistent cell cache and the svmsimd daemon both serialize
+// runs in this exact shape, and a golden-file test pins the encoding.
+// Renaming a tag is a breaking schema change; add new fields instead.
 type Proc struct {
-	Time [NumTimeKinds]uint64
+	Time [NumTimeKinds]uint64 `json:"time_cycles"`
 
 	// Protocol events (Table 2).
-	PageFaults  uint64 // protection faults (read fetch faults + write twin faults)
-	PageFetches uint64 // remote page fetches
-	LocalLocks  uint64 // lock acquires satisfied within the node
-	RemoteLocks uint64 // lock acquires requiring remote messages
-	Barriers    uint64
+	PageFaults  uint64 `json:"page_faults"`  // protection faults (read fetch faults + write twin faults)
+	PageFetches uint64 `json:"page_fetches"` // remote page fetches
+	LocalLocks  uint64 `json:"local_locks"`  // lock acquires satisfied within the node
+	RemoteLocks uint64 `json:"remote_locks"` // lock acquires requiring remote messages
+	Barriers    uint64 `json:"barriers"`
 
 	// Communication (Figures 3 and 4). Counted at the sending processor,
 	// including protocol handler replies it produced.
-	MsgsSent  uint64
-	BytesSent uint64
+	MsgsSent  uint64 `json:"msgs_sent"`
+	BytesSent uint64 `json:"bytes_sent"`
 
 	// Memory hierarchy.
-	L1Hits, L2Hits, Misses, WBHits uint64
+	L1Hits uint64 `json:"l1_hits"`
+	L2Hits uint64 `json:"l2_hits"`
+	Misses uint64 `json:"misses"`
+	WBHits uint64 `json:"wb_hits"`
 
 	// Interrupts taken on this processor (as victim).
-	Interrupts uint64
+	Interrupts uint64 `json:"interrupts"`
 
 	// DiffsCreated / DiffWords track HLRC diff activity.
-	DiffsCreated uint64
-	DiffWords    uint64
+	DiffsCreated uint64 `json:"diffs_created"`
+	DiffWords    uint64 `json:"diff_words"`
 
 	// UpdatesSent tracks AURC automatic-update words sent.
-	UpdatesSent uint64
+	UpdatesSent uint64 `json:"updates_sent"`
 
 	// Busy is the total busy time: end-of-run local time.
-	Busy uint64
+	Busy uint64 `json:"busy_cycles"`
 }
 
 // Total returns the sum of all time categories.
@@ -84,15 +92,20 @@ func (p *Proc) Total() uint64 {
 type Net struct {
 	// Dropped and DupsInjected count faults injected at the send side;
 	// Dups counts duplicates discarded at the receive side.
-	Dropped, DupsInjected, Dups uint64
+	Dropped      uint64 `json:"dropped"`
+	DupsInjected uint64 `json:"dups_injected"`
+	Dups         uint64 `json:"dups"`
 	// Retransmits, AcksSent, NacksSent and TimeoutFires account the
 	// reliable-delivery layer's recovery traffic and timer activity.
-	Retransmits, AcksSent, NacksSent, TimeoutFires uint64
+	Retransmits  uint64 `json:"retransmits"`
+	AcksSent     uint64 `json:"acks_sent"`
+	NacksSent    uint64 `json:"nacks_sent"`
+	TimeoutFires uint64 `json:"timeout_fires"`
 	// QueueStalls counts posts delayed by a full outgoing NI queue.
-	QueueStalls uint64
+	QueueStalls uint64 `json:"queue_stalls"`
 	// CrashDrops counts wire transfers discarded because a crash-stopped
 	// node was the sender or receiver.
-	CrashDrops uint64
+	CrashDrops uint64 `json:"crash_drops"`
 }
 
 // Recovery aggregates the failure detector's and recovery protocol's work
@@ -102,40 +115,40 @@ type Net struct {
 type Recovery struct {
 	// HeartbeatsSent counts liveness probes emitted cluster-wide; each one
 	// paid real interrupt, host-overhead, occupancy and bus cycles.
-	HeartbeatsSent uint64
+	HeartbeatsSent uint64 `json:"heartbeats_sent"`
 	// SuspectCycles is the detection latency: cycles from the last
 	// heartbeat heard from a dead node until it was declared dead, summed
 	// over deaths.
-	SuspectCycles uint64
+	SuspectCycles uint64 `json:"suspect_cycles"`
 	// PagesRehomed counts pages whose home crashed and that were re-homed
 	// onto a surviving node holding a valid copy.
-	PagesRehomed uint64
+	PagesRehomed uint64 `json:"pages_rehomed"`
 	// PagesLost counts pages whose home crashed with no surviving valid
 	// copy: the next access faults with a *LostPageError.
-	PagesLost uint64
+	PagesLost uint64 `json:"pages_lost"`
 	// LocksReclaimed counts locks whose token died with a node and was
 	// reconstructed at a survivor.
-	LocksReclaimed uint64
+	LocksReclaimed uint64 `json:"locks_reclaimed"`
 	// ReconfigRounds counts reconfiguration rounds (one per detected
 	// death).
-	ReconfigRounds uint64
+	ReconfigRounds uint64 `json:"reconfig_rounds"`
 	// RecoveryCycles is the total simulated time spent inside
 	// reconfiguration rounds.
-	RecoveryCycles uint64
+	RecoveryCycles uint64 `json:"recovery_cycles"`
 }
 
 // Run aggregates a whole simulation run.
 type Run struct {
-	Procs []Proc
+	Procs []Proc `json:"procs"`
 	// Cycles is the parallel execution time (end of the last processor).
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// NodeCount and ProcsPerNode record the configuration.
-	NodeCount    int
-	ProcsPerNode int
+	NodeCount    int `json:"node_count"`
+	ProcsPerNode int `json:"procs_per_node"`
 	// Net is the cluster-wide network fault/recovery summary.
-	Net Net
+	Net Net `json:"net"`
 	// Recovery is the cluster-wide failure-detection/recovery summary.
-	Recovery Recovery
+	Recovery Recovery `json:"recovery"`
 }
 
 // NewRun creates a Run for n processors.
