@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race chaos serve-smoke bench bench-engine experiments faults
+.PHONY: check vet lint build test race chaos serve-smoke bench bench-engine bench-smoke bench-snapshot experiments faults
 
 check: vet lint build test race chaos serve-smoke
 
@@ -53,6 +53,16 @@ bench:
 # Engine hot-path allocation guardrails.
 bench-engine:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/engine/
+
+# CI benchmark smoke: one -benchtime=1x pass asserting the engine's
+# 0 allocs/op contract plus one end-to-end single-run. Seconds.
+bench-smoke:
+	sh scripts/bench_smoke.sh
+
+# Record the perf trajectory: best-of-N engine and table benchmark numbers
+# written to BENCH_PR6.json (checked in; see scripts/bench_snapshot.sh).
+bench-snapshot:
+	sh scripts/bench_snapshot.sh BENCH_PR6.json
 
 # Regenerate every table and figure of the paper (small sizes, parallel).
 experiments:

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,16 +45,46 @@ func main() {
 		retry    = flag.Int("retry-after", 2, "Retry-After seconds advertised on 429")
 		reqTO    = flag.Duration("request-timeout", 10*time.Minute, "per-request handler timeout (bounds ?wait=1 long polls)")
 		drainTO  = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for accepted jobs before giving up")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
-	if err := run(*addr, *size, *parallel, *cacheDir, *queue, *workers, *retry, *reqTO, *drainTO, *verbose); err != nil {
+	if err := run(*addr, *size, *parallel, *cacheDir, *queue, *workers, *retry, *reqTO, *drainTO, *pprofOn, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, size string, parallel int, cacheDir string, queue, workers, retry int, reqTO, drainTO time.Duration, verbose bool) error {
+// servePprof exposes the pprof index on its own listener, kept off the API
+// address so profiling endpoints never ride on the service port (and are
+// opt-in, not reachable in a default deployment).
+func servePprof(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "svmsimd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(ln); err != nil {
+			fmt.Fprintf(os.Stderr, "svmsimd: pprof server: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+func run(addr, size string, parallel int, cacheDir string, queue, workers, retry int, reqTO, drainTO time.Duration, pprofAddr string, verbose bool) error {
+	if pprofAddr != "" {
+		if err := servePprof(pprofAddr); err != nil {
+			return err
+		}
+	}
 	sizes := exp.Small
 	if strings.EqualFold(size, "default") {
 		sizes = exp.Default

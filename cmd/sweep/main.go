@@ -9,6 +9,7 @@
 //	sweep -param pagesize -mode aurc
 //	sweep -param interrupt -apps FFT -json        # schema-v1 document
 //	sweep -cell '{"workload":"FFT","procs":8}'    # one cell, schema-v1 document
+//	sweep -param interrupt -cpuprofile cpu.prof   # profile the run
 //
 // The -json and -cell outputs use the versioned wire schema of
 // internal/exp/codec.go — the same canonical bytes the svmsimd daemon
@@ -20,25 +21,62 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"svmsim/internal/exp"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with deferred cleanup intact: profiles only flush if
+// the CPU profile is stopped and the heap profile written before the process
+// exits, so every exit path must return through here instead of os.Exit.
+func run() int {
 	var (
 		param = flag.String("param", "interrupt",
 			"parameter to sweep: overhead, occupancy, iobw, interrupt, pagesize, clustering")
-		appsFlag = flag.String("apps", "", "comma-separated workload subset (default: all)")
-		size     = flag.String("size", "small", "problem size: small or default")
-		mode     = flag.String("mode", "hlrc", "protocol: hlrc or aurc")
-		parallel = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
-		cacheDir = flag.String("cache-dir", "", "persist finished cells to this directory and reuse them across runs")
-		jsonOut  = flag.Bool("json", false, "emit the sweep as a schema-v1 JSON document instead of a rendered table")
-		cellSpec = flag.String("cell", "", "run one cell from an inline JSON cell spec and emit its schema-v1 result document")
-		verbose  = flag.Bool("v", false, "progress output")
+		appsFlag   = flag.String("apps", "", "comma-separated workload subset (default: all)")
+		size       = flag.String("size", "small", "problem size: small or default")
+		mode       = flag.String("mode", "hlrc", "protocol: hlrc or aurc")
+		parallel   = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir   = flag.String("cache-dir", "", "persist finished cells to this directory and reuse them across runs")
+		jsonOut    = flag.Bool("json", false, "emit the sweep as a schema-v1 JSON document instead of a rendered table")
+		cellSpec   = flag.String("cell", "", "run one cell from an inline JSON cell spec and emit its schema-v1 result document")
+		verbose    = flag.Bool("v", false, "progress output")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	sizes := exp.Small
 	if strings.EqualFold(*size, "default") {
@@ -52,11 +90,12 @@ func main() {
 	}
 
 	if *cellSpec != "" {
-		if err := runCell(s, *cellSpec); err != nil {
+		code, err := runCell(s, *cellSpec)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return code
 	}
 
 	spec := exp.SweepSpec{Param: *param, Mode: *mode}
@@ -70,16 +109,16 @@ func main() {
 	res, err := s.RunSweep(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if *jsonOut {
 		data, err := exp.EncodeSweepResult(res)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		os.Stdout.Write(data)
-		return
+		return 0
 	}
 	tbl := &exp.Table{ID: res.Table.ID, Title: res.Table.Title, Cols: res.Table.Cols}
 	for _, r := range res.Table.Rows {
@@ -90,30 +129,31 @@ func main() {
 		tbl.Rows = append(tbl.Rows, row)
 	}
 	fmt.Print(tbl.String())
+	return 0
 }
 
 // runCell executes one cell from an inline JSON spec and prints the
 // canonical result document. A failed cell still prints its structured
-// result (err_kind/err) and exits nonzero.
-func runCell(s *exp.Suite, raw string) error {
+// result (err_kind/err) and reports exit code 1.
+func runCell(s *exp.Suite, raw string) (int, error) {
 	dec := json.NewDecoder(strings.NewReader(raw))
 	dec.DisallowUnknownFields()
 	var spec exp.CellSpec
 	if err := dec.Decode(&spec); err != nil {
-		return fmt.Errorf("parsing -cell spec: %w", err)
+		return 1, fmt.Errorf("parsing -cell spec: %w", err)
 	}
 	cell, err := s.ResolveCell(spec)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	run, runErr := s.RunCell(cell)
 	data, err := exp.EncodeCellResult(exp.NewCellResult(cell.Key(), run, runErr))
 	if err != nil {
-		return err
+		return 1, err
 	}
 	os.Stdout.Write(data)
 	if runErr != nil {
-		os.Exit(1)
+		return 1, nil
 	}
-	return nil
+	return 0, nil
 }

@@ -7,22 +7,27 @@ import (
 )
 
 // TestSchedulePathZeroAllocs pins the closure-free thread scheduling path to
-// zero allocations per event once the heap has reached steady-state capacity:
-// Delay/Unpark/Spawn dispatches are pure value pushes into the recycled heap
-// slice.
+// zero allocations per event once the queue has reached steady-state
+// capacity: Delay/Unpark/Spawn dispatches are pure value pushes into recycled
+// wheel buckets (or, past the wheel's window, the recycled overflow heap).
 func TestSchedulePathZeroAllocs(t *testing.T) {
 	s := New()
 	th := &Thread{sim: s, name: "probe"}
-	// Pre-grow the heap so push never reallocates during measurement.
+	// Warm the overflow heap's backing storage; wheel buckets are slab-backed
+	// from construction.
 	for i := 0; i < 256; i++ {
-		s.scheduleThread(Time(i), th, evResume)
+		s.scheduleThread(Time(i)+2*wheelSize, th, evResume)
 	}
-	for len(s.events) > 0 {
+	for s.events.size > 0 {
 		s.events.pop()
 	}
 	allocs := testing.AllocsPerRun(1000, func() {
-		s.scheduleThread(s.now+10, th, evResume)
-		s.scheduleThread(s.now+20, th, evUnpark)
+		// One in-window push (bucket append) and one far-future push
+		// (overflow heap), drained in order; the cursor marches forward so
+		// every push respects the queue's monotonic-time contract.
+		at := s.events.cur + 10
+		s.scheduleThread(at, th, evResume)
+		s.scheduleThread(at+wheelSize, th, evUnpark)
 		s.events.pop()
 		s.events.pop()
 	})

@@ -1,12 +1,17 @@
 // Package engine provides the deterministic discrete-event simulation core
 // that the SVM cluster model is built on.
 //
-// The engine combines a classic event heap with cooperative threads: each
-// simulated processor (and each protocol handler) is a goroutine, but at most
-// one goroutine runs at any instant, and control transfers are explicit
+// The engine combines a timing-wheel event queue with cooperative threads:
+// each simulated processor (and each protocol handler) is a goroutine, but at
+// most one goroutine runs at any instant, and control transfers are explicit
 // (Delay, Park, condition waits). Event ties at the same cycle are broken by
 // a monotonically increasing sequence number, so a given program produces a
 // bit-identical schedule on every run.
+//
+// Control transfers take the cheapest path that preserves that schedule: when
+// a parking thread can see that the next event resumes another thread, it
+// hands control to it directly (one real goroutine switch per simulated one)
+// instead of round-tripping through the scheduler goroutine (two).
 package engine
 
 import (
@@ -61,69 +66,31 @@ type event struct {
 	kind   evKind
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !(*h).less(i, parent) {
-			break
-		}
-		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	old[n] = event{}
-	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && (*h).less(l, smallest) {
-			smallest = l
-		}
-		if r < n && (*h).less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
-		i = smallest
-	}
-	return top
-}
-
 // Sim is a discrete-event simulator instance. It is not safe for concurrent
 // use from outside; all model code runs under the simulator's own cooperative
 // scheduling.
 type Sim struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
 	current *Thread
 	live    map[*Thread]struct{}
+	zombies []*Thread     // killed threads whose goroutines await teardown
 	yield   chan struct{} // thread -> scheduler handoff
-	killed  chan struct{} // closed to unwind parked threads on teardown
 	dead    bool
 	stopped bool  // set by Stop; Run ends after the current dispatch
 	failure error // set when a thread panics; Run stops and reports it
+
+	// dispatched counts events dispatched so far, through the scheduler loop
+	// and the direct-handoff fast path alike; limit is the effective
+	// MaxEvents, fixed at Run entry so the fast path can enforce it too.
+	dispatched uint64
+	limit      uint64
+	// handoffs counts direct thread-to-thread transfers (diagnostics).
+	handoffs uint64
+	// noHandoff forces every transfer through the scheduler goroutine; tests
+	// use it to check the fast path changes nothing but speed.
+	noHandoff bool
 
 	// MaxEvents bounds the number of dispatched events as a livelock guard.
 	// Zero means the default (see Run).
@@ -154,11 +121,12 @@ type Sim struct {
 
 // New creates an empty simulator at time zero.
 func New() *Sim {
-	return &Sim{
-		live:   make(map[*Thread]struct{}),
-		yield:  make(chan struct{}),
-		killed: make(chan struct{}),
+	s := &Sim{
+		live:  make(map[*Thread]struct{}),
+		yield: make(chan struct{}),
 	}
+	s.events.init()
+	return s
 }
 
 // Now returns the current simulated time in cycles.
@@ -184,11 +152,16 @@ func (s *Sim) schedule(at Time, fn func()) {
 
 // AtTarget schedules target.HandleEvent(arg) to run after delay cycles, in
 // scheduler context. It is the closure-free counterpart of At for per-event
-// hot paths: the event is a value in the recycled heap slice, so once the
-// heap has reached steady-state capacity the call allocates nothing.
+// hot paths: the event is a value in the queue's recycled backing storage, so
+// once the queue has reached steady-state capacity the call allocates
+// nothing.
 func (s *Sim) AtTarget(delay Time, target EventTarget, arg any) {
+	at := s.now + delay
+	if at < s.now {
+		panic(fmt.Sprintf("engine: scheduling into the past (at=%d now=%d)", at, s.now))
+	}
 	s.seq++
-	s.events.push(event{at: s.now + delay, seq: s.seq, target: target, arg: arg, kind: evTarget})
+	s.events.push(event{at: at, seq: s.seq, target: target, arg: arg, kind: evTarget})
 }
 
 // Fail aborts the run with err after the current event finishes dispatching:
@@ -225,11 +198,12 @@ func (s *Sim) Kill(t *Thread) {
 	}
 	t.done = true
 	delete(s.live, t)
+	s.zombies = append(s.zombies, t)
 }
 
 // scheduleThread enqueues a closure-free thread event. Events are values in
-// the heap's recycled backing slice, so this path performs zero allocations
-// once the heap has reached its steady-state capacity.
+// the queue's recycled backing storage, so this path performs zero
+// allocations once the queue has reached its steady-state capacity.
 func (s *Sim) scheduleThread(at Time, t *Thread, kind evKind) {
 	if at < s.now {
 		panic(fmt.Sprintf("engine: scheduling into the past (at=%d now=%d)", at, s.now))
@@ -318,18 +292,15 @@ func (s *Sim) Spawn(name string, fn func(t *Thread)) *Thread {
 }
 
 // awaitResume blocks the goroutine until the scheduler dispatches this
-// thread, returning false if the simulation was torn down instead.
+// thread, returning false if the simulation was torn down instead (teardown
+// closes the resume channel).
 func (t *Thread) awaitResume() bool {
-	select {
-	case <-t.resume:
-		return true
-	case <-t.sim.killed:
-		return false
-	}
+	<-t.resume
+	return !t.sim.dead
 }
 
-// switchTo transfers control from the scheduler to t and waits for it to
-// yield back.
+// switchTo transfers control from the scheduler to t and waits for a thread
+// (t, or a thread t handed control to directly) to yield back.
 func (s *Sim) switchTo(t *Thread) {
 	if t.done {
 		return
@@ -342,15 +313,69 @@ func (s *Sim) switchTo(t *Thread) {
 	s.current = prev
 }
 
-// park suspends the calling thread until something unparks it.
+// park suspends the calling thread until something unparks it. If the next
+// event resumes another thread right now (and no watchdog stands in the way),
+// control transfers to it directly; otherwise the scheduler goroutine takes
+// over.
 func (t *Thread) park() {
 	t.parked = true
-	t.sim.yield <- struct{}{}
-	select {
-	case <-t.resume:
-	case <-t.sim.killed:
+	s := t.sim
+	if !s.tryHandoff(t) {
+		s.yield <- struct{}{}
+	}
+	<-t.resume
+	if s.dead {
 		panic(errUnwind)
 	}
+}
+
+// tryHandoff is the direct-handoff fast path: called by a parking thread, it
+// checks whether the head event is a resume of another thread that the
+// scheduler loop would dispatch next with no intervening error, and if so
+// pops it and transfers control straight to that thread — one real goroutine
+// switch per simulated context switch instead of two (park to scheduler,
+// scheduler to next). Any condition the scheduler loop must look at first —
+// a requested stop, a failure, an exhausted event budget, a watchdog
+// tripping on the clock advance, an Unpark misuse that must panic in
+// scheduler context — falls back to the slow path, so the dispatch order,
+// accounting and error semantics are bit-identical either way.
+func (s *Sim) tryHandoff(from *Thread) bool {
+	if s.noHandoff || s.stopped || s.failure != nil ||
+		s.dispatched >= s.limit || s.events.size == 0 {
+		return false
+	}
+	ev := s.events.peek()
+	if ev.kind != evResume && ev.kind != evUnpark {
+		return false
+	}
+	next := ev.th
+	if next == from || next.done {
+		return false
+	}
+	if ev.kind == evUnpark && !next.parked {
+		return false // the scheduler raises the model-bug panic
+	}
+	at := ev.at
+	if at != s.now {
+		// The per-cycle budget checks of Run, verbatim; a trip defers to the
+		// scheduler so the error is built (and torn down) in one place.
+		if s.MaxCycles > 0 && at > s.MaxCycles {
+			return false
+		}
+		if s.StallCheckCycles > 0 && len(s.live) > 0 &&
+			at > s.lastThreadAt && at-s.lastThreadAt > s.StallCheckCycles {
+			return false
+		}
+		s.now = at
+	}
+	s.events.popHead()
+	s.dispatched++
+	s.handoffs++
+	s.lastThreadAt = at
+	s.current = next
+	next.parked = false
+	next.resume <- struct{}{}
+	return true
 }
 
 // Delay advances the thread's local view of time by n cycles: the thread is
@@ -466,27 +491,36 @@ func (s *Sim) Run() error {
 	if s.dead {
 		return errors.New("engine: Run on a torn-down simulator")
 	}
-	limit := s.MaxEvents
-	if limit == 0 {
-		limit = 50_000_000_000
+	s.limit = s.MaxEvents
+	if s.limit == 0 {
+		s.limit = 50_000_000_000
 	}
-	var dispatched uint64
-	for len(s.events) > 0 {
-		if dispatched >= limit {
+	for s.events.size > 0 {
+		if s.dispatched >= s.limit {
 			s.teardown()
-			return &LivelockError{NowCycles: s.now, Events: dispatched}
+			return &LivelockError{NowCycles: s.now, Events: s.dispatched}
 		}
-		dispatched++
-		ev := s.events.pop()
-		if s.MaxCycles > 0 && ev.at > s.MaxCycles {
-			return s.stall(ev.at, s.MaxCycles, dispatched-1, "simulated-cycle budget exceeded")
+		ev := s.events.peek()
+		if at := ev.at; at != s.now {
+			// The watchdog checks run once per simulated cycle, not once per
+			// event: they depend only on the event's cycle, so every
+			// same-cycle event after the first passes them by construction,
+			// and the first event of a cycle is always dispatched here or in
+			// tryHandoff (which runs the same checks and defers to this loop
+			// when one trips).
+			if s.MaxCycles > 0 && at > s.MaxCycles {
+				return s.stall(at, s.MaxCycles, s.dispatched, "simulated-cycle budget exceeded")
+			}
+			if s.StallCheckCycles > 0 && len(s.live) > 0 &&
+				at > s.lastThreadAt && at-s.lastThreadAt > s.StallCheckCycles {
+				return s.stall(at, s.StallCheckCycles, s.dispatched, "no thread progress within quiescence window")
+			}
+			s.now = at
 		}
-		if s.StallCheckCycles > 0 && len(s.live) > 0 &&
-			ev.at > s.lastThreadAt && ev.at-s.lastThreadAt > s.StallCheckCycles {
-			return s.stall(ev.at, s.StallCheckCycles, dispatched-1, "no thread progress within quiescence window")
-		}
-		s.now = ev.at
-		s.dispatch(ev)
+		e := *ev
+		s.events.popHead()
+		s.dispatched++
+		s.dispatch(e)
 		if s.failure != nil {
 			err := s.failure
 			s.teardown()
@@ -516,14 +550,22 @@ func (s *Sim) Run() error {
 	return nil
 }
 
-// teardown unwinds any parked goroutines so they do not leak.
+// teardown unwinds any blocked goroutines so they do not leak: closing a
+// thread's resume channel wakes it, and the dead flag (written first, read
+// after the wakeup, ordered by the close) turns the wakeup into an unwind.
+// Goroutines blocked sending on s.yield cannot exist here: a thread is only
+// mid-yield while the scheduler is inside switchTo.
 func (s *Sim) teardown() {
 	if s.dead {
 		return
 	}
 	s.dead = true
-	close(s.killed)
-	// Parked goroutines each panic(errUnwind) out of park and exit
-	// asynchronously; the ones blocked sending on s.yield cannot exist here
-	// (a thread is only mid-yield while the scheduler is inside switchTo).
+	//svmlint:ignore detmap closes are commutative: no event dispatch or simulated effect follows teardown, each goroutine just unwinds
+	for t := range s.live {
+		close(t.resume)
+	}
+	for _, t := range s.zombies {
+		close(t.resume)
+	}
+	s.zombies = nil
 }

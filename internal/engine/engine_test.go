@@ -257,8 +257,9 @@ func TestSchedulingIntoPastPanics(t *testing.T) {
 	_ = s.Run()
 }
 
-// TestHeapPropertyOrdering drives the event heap with random batches and
-// checks events always fire in nondecreasing (time, seq) order.
+// TestHeapPropertyOrdering drives the event queue end to end (through Sim)
+// with random batches and checks events always fire in nondecreasing
+// (time, seq) order; TestWheelPropertyOrdering covers the queue directly.
 func TestHeapPropertyOrdering(t *testing.T) {
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// handoffWorkload drives one simulation rich in the patterns the direct
+// thread-to-thread handoff targets — Unpark-then-Park ping-pong, Delay
+// ladders, resource arbitration, condition signal/broadcast — and returns the
+// full schedule log plus the Sim for counter inspection.
+func handoffWorkload(t *testing.T, noHandoff bool) ([]string, *Sim) {
+	t.Helper()
+	s := New()
+	s.noHandoff = noHandoff
+	var log []string
+	step := func(who string) { log = append(log, fmt.Sprintf("%s@%d", who, s.Now())) }
+
+	// Unpark-then-Park ping-pong: the canonical handoff shape.
+	var ping, pong *Thread
+	pong = s.Spawn("pong", func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			th.Park()
+			step("pong")
+			ping.Unpark()
+		}
+	})
+	ping = s.Spawn("ping", func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			step("ping")
+			pong.Unpark()
+			th.Park()
+		}
+	})
+
+	// Delay ladders at clashing and disjoint cycles.
+	for i := 0; i < 4; i++ {
+		d := Time(i%2 + 1)
+		name := fmt.Sprintf("delayer%d", i)
+		s.Spawn(name, func(th *Thread) {
+			for j := 0; j < 25; j++ {
+				th.Delay(d)
+				step(name)
+			}
+		})
+	}
+
+	// Resource arbitration: contended acquire/release with priorities.
+	r := NewResource(s, "bus")
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("user%d", i)
+		prio := i % 2
+		s.Spawn(name, func(th *Thread) {
+			for j := 0; j < 10; j++ {
+				r.Use(th, prio, 7)
+				step(name)
+			}
+		})
+	}
+
+	// Condition variable: waiters woken by signal and broadcast.
+	c := NewCond(s)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("waiter%d", i)
+		s.Spawn(name, func(th *Thread) {
+			c.Wait(th)
+			step(name)
+			c.Wait(th)
+			step(name)
+		})
+	}
+	s.Spawn("waker", func(th *Thread) {
+		th.Delay(40)
+		c.Signal()
+		th.Delay(40)
+		c.Broadcast()
+		th.Delay(40)
+		c.Broadcast()
+	})
+
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	log = append(log, fmt.Sprintf("end@%d", s.Now()))
+	return log, s
+}
+
+// TestHandoffScheduleBitIdentical runs the same workload with direct handoff
+// enabled and disabled and requires the two schedules — every thread step at
+// every cycle, and the final clock — to be identical. The fast path must be
+// an implementation detail invisible to the simulation.
+func TestHandoffScheduleBitIdentical(t *testing.T) {
+	slow, ssim := handoffWorkload(t, true)
+	fast, fsim := handoffWorkload(t, false)
+	if ssim.handoffs != 0 {
+		t.Fatalf("noHandoff run took %d direct handoffs", ssim.handoffs)
+	}
+	if fsim.handoffs == 0 {
+		t.Fatal("handoff-enabled run never took the direct path; fast path not engaged")
+	}
+	if len(slow) != len(fast) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(slow), len(fast))
+	}
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Fatalf("schedules diverge at step %d: scheduler-mediated %q, handoff %q",
+				i, slow[i], fast[i])
+		}
+	}
+	if ssim.dispatched != fsim.dispatched {
+		t.Fatalf("dispatch counts differ: %d vs %d", ssim.dispatched, fsim.dispatched)
+	}
+}
+
+// TestHandoffErrorSemantics: runs that end in watchdog errors must produce
+// the same structured error regardless of the handoff path, because the
+// handoff declines any transfer the scheduler would refuse.
+func TestHandoffErrorSemantics(t *testing.T) {
+	build := func(noHandoff bool) error {
+		s := New()
+		s.noHandoff = noHandoff
+		s.MaxCycles = 1000
+		var a, b *Thread
+		b = s.Spawn("b", func(th *Thread) {
+			for {
+				th.Park()
+				th.Delay(10)
+				a.Unpark()
+			}
+		})
+		a = s.Spawn("a", func(th *Thread) {
+			for {
+				th.Delay(10)
+				b.Unpark()
+				th.Park()
+			}
+		})
+		return s.Run()
+	}
+	slow, fast := build(true), build(false)
+	if slow == nil || fast == nil {
+		t.Fatalf("want stall errors, got %v / %v", slow, fast)
+	}
+	if slow.Error() != fast.Error() {
+		t.Fatalf("error semantics diverge:\n scheduler: %v\n handoff:   %v", slow, fast)
+	}
+}
+
+// TestHandoffCountsTowardEventBudget: direct handoffs must consume the
+// MaxEvents budget exactly like scheduler-mediated dispatches, so a livelock
+// still trips the guard at the same count.
+func TestHandoffCountsTowardEventBudget(t *testing.T) {
+	run := func(noHandoff bool) (error, uint64) {
+		s := New()
+		s.noHandoff = noHandoff
+		s.MaxEvents = 500
+		var a, b *Thread
+		b = s.Spawn("b", func(th *Thread) {
+			for {
+				th.Park()
+				a.Unpark()
+			}
+		})
+		a = s.Spawn("a", func(th *Thread) {
+			for {
+				b.Unpark()
+				th.Park()
+			}
+		})
+		return s.Run(), s.dispatched
+	}
+	slowErr, slowN := run(true)
+	fastErr, fastN := run(false)
+	var ll *LivelockError
+	if !errors.As(slowErr, &ll) || !errors.As(fastErr, &ll) {
+		t.Fatalf("want LivelockError from both paths, got %v / %v", slowErr, fastErr)
+	}
+	if slowN != fastN {
+		t.Fatalf("event budget accounting diverges: scheduler %d, handoff %d", slowN, fastN)
+	}
+	if slowErr.Error() != fastErr.Error() {
+		t.Fatalf("livelock reports diverge:\n scheduler: %v\n handoff:   %v", slowErr, fastErr)
+	}
+}

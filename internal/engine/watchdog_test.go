@@ -176,17 +176,34 @@ func TestAtTargetZeroAllocs(t *testing.T) {
 	for i := 0; i < 256; i++ {
 		s.AtTarget(Time(i), tk, arg)
 	}
-	for len(s.events) > 0 {
+	for s.events.size > 0 {
 		s.events.pop()
 	}
 	allocs := testing.AllocsPerRun(1000, func() {
-		s.AtTarget(10, tk, arg)
+		s.AtTarget(300, tk, arg) // past the pre-grow times: the queue's cursor never moves backward
 		ev := s.events.pop()
 		ev.target.HandleEvent(ev.arg)
 	})
 	if allocs != 0 {
 		t.Errorf("AtTarget path allocates %.1f objects per event, want 0", allocs)
 	}
+}
+
+// TestAtTargetOverflowPanics: a delay large enough to wrap the cycle counter
+// must panic like schedule and scheduleThread do, not silently enqueue an
+// event in the past. Regression test: AtTarget originally lacked the guard.
+func TestAtTargetOverflowPanics(t *testing.T) {
+	s := New()
+	tk := &sink{}
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic from overflowing AtTarget delay")
+			}
+		}()
+		s.AtTarget(^Time(0), tk, nil) // now+delay wraps below now
+	})
+	_ = s.Run()
 }
 
 type sink struct{ n int }

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench_smoke.sh — CI guardrail for the engine hot path, in seconds.
+#
+# Two passes over the engine scheduling benchmarks:
+#
+#   1. -benchtime=1x     smoke: one iteration of each must complete.
+#   2. -benchtime=1000x  guardrail: 0 allocs/op on the schedule path.
+#
+# The alloc assertion runs at 1000 iterations because a single-iteration run
+# reports ~2 fixed allocs/op of runtime/testing bookkeeping (measured on the
+# pre-wheel engine too); at 1000x those divide to zero and any real
+# per-event allocation — a stray closure or interface box — still reads as
+# >= 1. That contract is what keeps GC pressure out of multi-hour sweeps.
+# BenchmarkSingleRun rides along at 1x as an end-to-end smoke (one full FFT
+# cell) without an allocation assertion — the model layer allocates by
+# design.
+#
+# Run via `make bench-smoke` (part of CI). POSIX sh + awk only.
+set -eu
+
+echo "bench-smoke: engine single-iteration smoke"
+go test -run '^$' -bench 'BenchmarkEngineDelay$|BenchmarkEngineUnpark$' \
+    -benchtime 1x ./internal/engine/
+
+echo "bench-smoke: engine 0 allocs/op guardrail"
+out=$(go test -run '^$' -bench 'BenchmarkEngineDelay$|BenchmarkEngineUnpark$' \
+    -benchtime 1000x -benchmem ./internal/engine/)
+printf '%s\n' "$out"
+printf '%s\n' "$out" | awk '
+/^Benchmark/ {
+    n++
+    if ($(NF - 1) + 0 != 0) { print "bench-smoke: FAIL: " $1 " allocates " $(NF - 1) " allocs/op, want 0"; bad = 1 }
+}
+END {
+    if (n != 2) { print "bench-smoke: FAIL: expected 2 benchmark lines, saw " n; exit 1 }
+    exit bad
+}'
+
+echo "bench-smoke: single-run end-to-end smoke"
+go test -run '^$' -bench 'BenchmarkSingleRun$' -benchtime 1x -benchmem .
+
+echo "bench-smoke: OK"
