@@ -1,7 +1,8 @@
 // Command svmlint runs the simulator's domain-specific static analyzers
-// (determinism, unit-suffix and hot-path-allocation invariants) over the
-// repository. See internal/lint for the analyzer catalogue and DESIGN.md for
-// the invariants each one encodes.
+// (determinism, unit, hot-path-allocation, lock-discipline, stats-wiring and
+// error-exhaustiveness invariants) over the repository, type-checking the
+// requested packages as one whole program. See internal/lint for the
+// analyzer catalogue and DESIGN.md for the invariants each one encodes.
 //
 // Usage:
 //
@@ -9,6 +10,8 @@
 //	svmlint -json ./internal/proto    # one package, machine-readable
 //	svmlint -disable units ./...      # skip an analyzer
 //	svmlint -analyzers                # list analyzers
+//	svmlint -baseline lint.baseline.json ./...        # gate on new findings only
+//	svmlint -baseline lint.baseline.json -write-baseline ./...  # accept current
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main

@@ -206,9 +206,11 @@ func NewCellResult(key string, run *svmsim.RunStats, err error) CellResult {
 }
 
 // ErrKind classifies an error into the wire schema's structured kinds: the
-// typed, deterministic simulator failures keep their identity; everything
-// else (panics, validation at run time) is "failed". Kinds survive the disk
-// cache via cachedError.
+// typed simulator failures keep their identity ("stall", "lost_page",
+// "link_failure", "deadlock", "livelock", "panic"); everything else
+// (harness-side panics, validation at run time) is "failed". The svmlint
+// errkind analyzer holds this switch exhaustive over the error taxonomy.
+// Kinds survive the disk cache via cachedError.
 func ErrKind(err error) string {
 	var c *cachedError
 	switch {
@@ -222,6 +224,12 @@ func ErrKind(err error) string {
 		return "lost_page"
 	case errors.As(err, new(*svmsim.LinkFailureError)):
 		return "link_failure"
+	case errors.As(err, new(*svmsim.DeadlockError)):
+		return "deadlock"
+	case errors.As(err, new(*svmsim.LivelockError)):
+		return "livelock"
+	case errors.As(err, new(*svmsim.ThreadPanicError)):
+		return "panic"
 	default:
 		return "failed"
 	}

@@ -243,6 +243,34 @@ func TestResolveCellRejects(t *testing.T) {
 	}
 }
 
+// TestErrKindTaxonomy pins the wire kind and the retry disposition of every
+// typed simulator failure — the two switches the svmlint errkind analyzer
+// holds exhaustive. Deterministic modeled failures skip the retry budget; a
+// thread panic may be environmental and is allowed to retry.
+func TestErrKindTaxonomy(t *testing.T) {
+	cases := []struct {
+		err           error
+		kind          string
+		deterministic bool
+	}{
+		{&svmsim.StallError{NowCycles: 7}, "stall", true},
+		{&svmsim.LostPageError{}, "lost_page", true},
+		{&svmsim.LinkFailureError{}, "link_failure", true},
+		{&svmsim.DeadlockError{NowCycles: 9}, "deadlock", true},
+		{&svmsim.LivelockError{NowCycles: 9, Events: 10}, "livelock", true},
+		{&svmsim.ThreadPanicError{Thread: "p0", Value: "boom"}, "panic", false},
+		{errors.New("setup exploded"), "failed", false},
+	}
+	for _, c := range cases {
+		if k := ErrKind(c.err); k != c.kind {
+			t.Errorf("ErrKind(%T) = %q, want %q", c.err, k, c.kind)
+		}
+		if d := deterministicErr(c.err); d != c.deterministic {
+			t.Errorf("deterministicErr(%T) = %v, want %v", c.err, d, c.deterministic)
+		}
+	}
+}
+
 // TestErrKindSurvivesDiskCache: a typed failure cached to disk comes back
 // with the same structured kind after the type itself is gone.
 func TestErrKindSurvivesDiskCache(t *testing.T) {

@@ -280,14 +280,27 @@ func (s *Suite) RunCell(c Cell) (*svmsim.RunStats, error) {
 
 // deterministicErr reports whether an error is a structured, reproducible
 // simulation outcome: the simulator is deterministic, so a lost page, an
-// exhausted retry budget, or a tripped watchdog fails identically on every
-// attempt and a retry only re-pays the full simulation cost before caching
-// the same error. Retries exist for host-level flakiness (e.g. a panicking
-// cell hitting an environmental limit), not for modeled failures.
+// exhausted retry budget, a tripped watchdog, or a drained-queue deadlock
+// fails identically on every attempt and a retry only re-pays the full
+// simulation cost before caching the same error. Retries exist for
+// host-level flakiness, not for modeled failures. The switch dispositions
+// every type in the error taxonomy explicitly (held exhaustive by the
+// svmlint errkind analyzer).
 func deterministicErr(err error) bool {
-	return errors.As(err, new(*svmsim.LostPageError)) ||
-		errors.As(err, new(*svmsim.LinkFailureError)) ||
-		errors.As(err, new(*svmsim.StallError))
+	switch {
+	case errors.As(err, new(*svmsim.LostPageError)),
+		errors.As(err, new(*svmsim.LinkFailureError)),
+		errors.As(err, new(*svmsim.StallError)),
+		errors.As(err, new(*svmsim.DeadlockError)),
+		errors.As(err, new(*svmsim.LivelockError)):
+		return true
+	case errors.As(err, new(*svmsim.ThreadPanicError)):
+		// A panic inside a simulated thread usually reproduces, but panic
+		// causes include environmental limits (stack, memory); spend the
+		// retry budget rather than cache a possibly transient failure.
+		return false
+	}
+	return false
 }
 
 // simulate executes one cell, converting a panic (in the simulator, protocol,

@@ -79,7 +79,6 @@ func (c *Controller) Raise(name string, handler func(t *engine.Thread, victim *n
 		return
 	}
 	victim := c.pick()
-	//svmlint:ignore hotalloc handler threads are spawned per protocol request; thread creation dominates the closure cost
 	c.n.Sim.Spawn(fmt.Sprintf("intr-%s@n%d", name, c.n.ID), func(t *engine.Thread) {
 		// Issue half: signal propagation; does not occupy the victim CPU.
 		if c.IssueCycles > 0 {

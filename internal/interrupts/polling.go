@@ -69,7 +69,6 @@ func (c *Controller) raisePolling(name string, handler func(t *engine.Thread, vi
 		interval = 1
 	}
 	boundary := (now/interval + 1) * interval
-	//svmlint:ignore hotalloc handler threads are spawned per protocol request; thread creation dominates the closure cost
 	c.n.Sim.Spawn(fmt.Sprintf("poll-%s@n%d", name, c.n.ID), func(t *engine.Thread) {
 		t.Delay(boundary - now)
 		victim.HandlerRes.Acquire(t, 0)
@@ -91,7 +90,6 @@ func (c *Controller) raisePolling(name string, handler func(t *engine.Thread, vi
 // computation.
 func (c *Controller) raiseDedicated(name string, handler func(t *engine.Thread, victim *node.Processor)) {
 	victim := c.n.Procs[len(c.n.Procs)-1]
-	//svmlint:ignore hotalloc handler threads are spawned per protocol request; thread creation dominates the closure cost
 	c.n.Sim.Spawn(fmt.Sprintf("proto-%s@n%d", name, c.n.ID), func(t *engine.Thread) {
 		if c.Poll.DispatchCycles > 0 {
 			t.Delay(c.Poll.DispatchCycles)

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Baselines park pre-existing findings so the gate fails only on new ones:
+// a new analyzer can land with the debt it surfaces recorded in a checked-in
+// file, and CI stays red-free while the debt is paid down. Entries match on
+// analyzer, module-relative file path and message — deliberately not on line
+// numbers, which shift under every unrelated edit and would silently
+// un-baseline (or worse, accidentally baseline) findings. The aspiration is
+// an empty baseline; every entry is debt with a name on it.
+
+// baselineSchema versions the file format.
+const baselineSchema = 1
+
+type baselineDoc struct {
+	Schema   int             `json:"schema"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is slash-separated and relative to the module root, so the same
+	// baseline matches regardless of the directory svmlint runs from.
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// readBaseline loads a baseline file into its match set.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if doc.Schema != baselineSchema {
+		return nil, fmt.Errorf("lint: baseline %s: schema %d, want %d", path, doc.Schema, baselineSchema)
+	}
+	set := make(map[string]bool, len(doc.Findings))
+	for _, e := range doc.Findings {
+		set[e.Analyzer+"\x00"+e.File+"\x00"+e.Message] = true
+	}
+	return set, nil
+}
+
+// writeBaseline records the run's active findings as the new baseline.
+func writeBaseline(path string, res *Result) error {
+	doc := baselineDoc{Schema: baselineSchema, Findings: []baselineEntry{}}
+	for _, f := range res.Findings {
+		doc.Findings = append(doc.Findings, baselineEntry{
+			Analyzer: f.Analyzer,
+			File:     baselineFile(res.ModuleRoot, f.File),
+			Message:  f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselineKey renders a finding in the form baseline entries are matched by.
+func baselineKey(moduleRoot string, f Finding) string {
+	return f.Analyzer + "\x00" + baselineFile(moduleRoot, f.File) + "\x00" + f.Message
+}
+
+// baselineFile normalizes a finding's file path (as loaded, typically
+// relative to the working directory) to slash-separated module-relative
+// form.
+func baselineFile(moduleRoot, file string) string {
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -38,7 +38,8 @@ var detmapPackages = map[string]bool{
 	"exp":        true,
 }
 
-func detmapRun(pkg *Package, report reportFunc) {
+func detmapRun(pass *Pass) {
+	pkg, report := pass.Pkg, pass.Report
 	if !detmapPackages[pkg.Name] {
 		return
 	}

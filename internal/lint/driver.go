@@ -25,19 +25,30 @@ type Options struct {
 	JSON bool
 	// Tests includes in-package _test.go files.
 	Tests bool
-	// Verbose prints suppressed findings (with their reasons) as well.
+	// Verbose prints suppressed and baselined findings as well.
 	Verbose bool
+	// Baseline names a baseline file of accepted findings: findings matching
+	// an entry move to Result.Baselined instead of Result.Findings, so only
+	// new findings fail the run.
+	Baseline string
 }
 
 // Result is the outcome of a Run.
 type Result struct {
-	// Findings holds every active (unsuppressed) finding, sorted by position.
+	// Findings holds every active (unsuppressed, non-baselined) finding,
+	// sorted by position.
 	Findings []Finding
 	// Suppressed holds findings that an //svmlint:ignore directive covered.
 	Suppressed []Finding
+	// Baselined holds findings matched by the baseline file.
+	Baselined []Finding
+	// ModuleRoot is the module directory findings are normalized against in
+	// baseline files.
+	ModuleRoot string
 }
 
-// Run loads the requested packages and applies the enabled analyzers.
+// Run loads the requested packages as one whole program and applies the
+// enabled analyzers.
 func Run(opts Options) (*Result, error) {
 	dir := opts.Dir
 	if dir == "" {
@@ -51,6 +62,13 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var baseline map[string]bool
+	if opts.Baseline != "" {
+		baseline, err = readBaseline(opts.Baseline)
+		if err != nil {
+			return nil, err
+		}
+	}
 	loader, err := NewLoader(dir)
 	if err != nil {
 		return nil, err
@@ -60,45 +78,60 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	prog := &Program{Fset: loader.Fset, ModuleRoot: loader.ModuleRoot, Pkgs: pkgs}
 
 	known := map[string]bool{}
 	for _, name := range AnalyzerNames() {
 		known[name] = true
 	}
-	res := &Result{}
-	for _, pkg := range pkgs {
-		sups := collectSuppressions(pkg, known, func(f Finding) {
-			res.Findings = append(res.Findings, f)
-		})
-		for _, a := range Analyzers() {
-			if !enabled[a.Name] {
-				continue
-			}
-			report := func(pos token.Pos, format string, args ...any) {
-				p := pkg.Fset.Position(pos)
-				f := Finding{
-					Analyzer: a.Name,
-					File:     p.Filename,
-					Line:     p.Line,
-					Col:      p.Column,
-					Message:  fmt.Sprintf(format, args...),
-				}
-				if sup := sups.match(a.Name, p); sup != nil {
-					f.Suppressed = true
-					f.Reason = sup.reason
-					res.Suppressed = append(res.Suppressed, f)
-					return
-				}
-				res.Findings = append(res.Findings, f)
-			}
-			a.Run(pkg, report)
+	res := &Result{ModuleRoot: loader.ModuleRoot}
+	admit := func(f Finding) {
+		if baseline != nil && baseline[baselineKey(loader.ModuleRoot, f)] {
+			f.Baselined = true
+			res.Baselined = append(res.Baselined, f)
+			return
 		}
-		sups.unused(enabled, func(f Finding) {
-			res.Findings = append(res.Findings, f)
-		})
+		res.Findings = append(res.Findings, f)
 	}
+	// The suppression set spans the whole program: whole-program analyzers
+	// report findings in any loaded package.
+	sups := collectSuppressions(pkgs, known, admit)
+	reportFor := func(name string) reportFunc {
+		return func(pos token.Pos, format string, args ...any) {
+			p := prog.Fset.Position(pos)
+			f := Finding{
+				Analyzer: name,
+				File:     p.Filename,
+				Line:     p.Line,
+				Col:      p.Column,
+				Message:  fmt.Sprintf(format, args...),
+			}
+			if sup := sups.match(name, p); sup != nil {
+				f.Suppressed = true
+				f.Reason = sup.reason
+				res.Suppressed = append(res.Suppressed, f)
+				return
+			}
+			admit(f)
+		}
+	}
+	for _, a := range Analyzers() {
+		if !enabled[a.Name] {
+			continue
+		}
+		report := reportFor(a.Name)
+		if a.WholeProgram {
+			a.Run(&Pass{Prog: prog, Report: report})
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Prog: prog, Pkg: pkg, Report: report})
+		}
+	}
+	sups.unused(enabled, admit)
 	sortFindings(res.Findings)
 	sortFindings(res.Suppressed)
+	sortFindings(res.Baselined)
 	return res, nil
 }
 
@@ -114,7 +147,10 @@ func sortFindings(fs []Finding) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
@@ -161,12 +197,14 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("svmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as JSON")
-		tests   = fs.Bool("tests", false, "also analyze _test.go files")
-		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
-		verbose = fs.Bool("v", false, "also print suppressed findings with their reasons")
-		list    = fs.Bool("analyzers", false, "list analyzers and exit")
+		jsonOut   = fs.Bool("json", false, "emit findings as JSON")
+		tests     = fs.Bool("tests", false, "also analyze _test.go files")
+		enable    = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = fs.String("disable", "", "comma-separated analyzers to skip")
+		verbose   = fs.Bool("v", false, "also print suppressed and baselined findings")
+		list      = fs.Bool("analyzers", false, "list analyzers and exit")
+		baseline  = fs.String("baseline", "", "baseline file of accepted findings; matched findings do not fail the run")
+		writeBase = fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit 0")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: svmlint [flags] [packages]\n\n"+
@@ -179,9 +217,13 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, a := range Analyzers() {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *writeBase && *baseline == "" {
+		fmt.Fprintln(stderr, "svmlint: -write-baseline requires -baseline <file>")
+		return 2
 	}
 	opts := Options{
 		Patterns: fs.Args(),
@@ -190,16 +232,31 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		JSON:     *jsonOut,
 		Tests:    *tests,
 		Verbose:  *verbose,
+		Baseline: *baseline,
+	}
+	if *writeBase {
+		// A baseline capture records everything currently firing, so the
+		// existing baseline must not filter the run it is rebuilt from.
+		opts.Baseline = ""
 	}
 	res, err := Run(opts)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	if *writeBase {
+		if err := writeBaseline(*baseline, res); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "svmlint: wrote %d finding(s) to %s\n", len(res.Findings), *baseline)
+		return 0
+	}
 	if opts.JSON {
 		out := res.Findings
 		if opts.Verbose {
 			out = append(append([]Finding{}, out...), res.Suppressed...)
+			out = append(out, res.Baselined...)
 			sortFindings(out)
 		}
 		if out == nil {
@@ -218,6 +275,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		if opts.Verbose {
 			for _, f := range res.Suppressed {
 				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", f.String(), f.Reason)
+			}
+			for _, f := range res.Baselined {
+				fmt.Fprintf(stdout, "%s [baselined]\n", f.String())
 			}
 		}
 	}

@@ -26,7 +26,8 @@ var floatcmpEqualityPackages = map[string]bool{"stats": true, "exp": true}
 // floatcmpAccumPackages are additionally checked for float += in loops.
 var floatcmpAccumPackages = map[string]bool{"stats": true}
 
-func floatcmpRun(pkg *Package, report reportFunc) {
+func floatcmpRun(pass *Pass) {
+	pkg, report := pass.Pkg, pass.Report
 	checkEq := floatcmpEqualityPackages[pkg.Name]
 	checkAccum := floatcmpAccumPackages[pkg.Name]
 	if !checkEq && !checkAccum {

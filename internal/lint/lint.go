@@ -4,27 +4,50 @@
 // both properties are easy to break silently (an unsorted map iteration, a
 // wall-clock read, a closure creeping onto the schedule path). svmlint turns
 // those invariants into compiler-adjacent checks that run as part of
-// `make check`:
+// `make check`.
+//
+// The driver is a whole-program analyzer: every package of a run is fully
+// type-checked (stdlib go/types + go/importer only) in dependency order, so
+// cross-package facts — the call graph, struct-field write sites, the error
+// taxonomy — resolve to one consistent types.Object per entity. Per-package
+// analyzers:
 //
 //   - detmap: no order-dependent iteration over Go maps in simulation packages
 //   - wallclock: no host wall-clock or global-rand use in internal/ simulation
 //     code (the walltime package and cmd/ harnesses are exempt)
-//   - hotalloc: no function literals passed to the engine's resume-target
-//     scheduling APIs (Delay, Unpark, Park, Spawn, At, Schedule)
+//   - hotalloc: no function literals passed to the engine's per-event
+//     scheduling APIs (Delay, Unpark, Park, At, Schedule)
 //   - units: engine.Time-typed exported fields and constants carry an explicit
-//     unit suffix, numeric declarations named like quantities (timeouts,
-//     delays, backoff factors) do too, and +,-,comparison arithmetic never
-//     mixes unit suffixes
+//     unit suffix, and numeric declarations named like quantities (timeouts,
+//     delays, backoff factors) do too
 //   - floatcmp: no floating-point ==/!= and no naive float accumulation in
 //     the statistics pipeline
+//   - simtime: taint-style unit consistency — additive/comparison arithmetic
+//     never mixes expressions carrying different units (Cycles vs Ns vs
+//     Bytes), and wall-clock-derived values never flow into simulated-time
+//     sinks outside internal/walltime
+//
+// Whole-program analyzers (these are the reason the driver type-checks the
+// full load set):
+//
+//   - parkdiscipline: no engine blocking call (Park, Delay, Cond.Wait,
+//     Resource.Acquire/Use, Sim.Run) is reachable through the call graph
+//     while a sync.Mutex/RWMutex is held
+//   - statwire: every exported numeric field of internal/stats carries a
+//     snake_case JSON tag (the pinned v1 wire schema) and has at least one
+//     write site somewhere in the program
+//   - errkind: every exported *Error type in the error taxonomy is
+//     classified by exp.ErrKind and dispositioned by the retry-skip switch
 //
 // Findings can be suppressed line-by-line with a mandatory written reason:
 //
 //	//svmlint:ignore <analyzer> <reason>
 //
 // placed on the offending line or the line directly above it. A suppression
-// without a reason is itself a finding. See DESIGN.md ("Statically enforced
-// invariants") for the contract each analyzer encodes.
+// without a reason is itself a finding. Pre-existing findings can be parked
+// in a baseline file (-baseline, -write-baseline) so CI fails only on new
+// ones. See DESIGN.md ("Statically enforced invariants") for the contract
+// each analyzer encodes.
 package lint
 
 import (
@@ -51,6 +74,9 @@ type Finding struct {
 	// Reason carries the comment's justification.
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	// Baselined marks findings matched by the baseline file: accepted debt,
+	// visible with -v, not failing the run.
+	Baselined bool `json:"baselined,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -76,11 +102,23 @@ type Package struct {
 // reportFunc records one finding at pos.
 type reportFunc func(pos token.Pos, format string, args ...any)
 
+// Pass is one analyzer invocation. Per-package analyzers get one Pass per
+// loaded package (Pkg set); whole-program analyzers get a single Pass with
+// Pkg nil and walk Prog.Pkgs themselves.
+type Pass struct {
+	Prog   *Program
+	Pkg    *Package
+	Report reportFunc
+}
+
 // Analyzer is one svmlint check.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(pkg *Package, report reportFunc)
+	// WholeProgram runs the analyzer once over the entire load set instead
+	// of once per package; Pass.Pkg is nil for such runs.
+	WholeProgram bool
+	Run          func(pass *Pass)
 }
 
 // Analyzers returns the full analyzer set in presentation order.
@@ -98,18 +136,41 @@ func Analyzers() []*Analyzer {
 		},
 		{
 			Name: "hotalloc",
-			Doc:  "flags function literals passed to the engine's scheduling APIs",
+			Doc:  "flags function literals passed to the engine's per-event scheduling APIs",
 			Run:  hotallocRun,
 		},
 		{
 			Name: "units",
-			Doc:  "enforces unit suffixes on engine.Time and quantity-named declarations, and unit-consistent arithmetic",
+			Doc:  "enforces unit suffixes on engine.Time and quantity-named declarations",
 			Run:  unitsRun,
 		},
 		{
 			Name: "floatcmp",
 			Doc:  "flags float equality comparison and naive float accumulation in the stats pipeline",
 			Run:  floatcmpRun,
+		},
+		{
+			Name:         "parkdiscipline",
+			Doc:          "forbids engine blocking calls reachable while a sync mutex is held (call-graph reachability)",
+			WholeProgram: true,
+			Run:          parkdisciplineRun,
+		},
+		{
+			Name: "simtime",
+			Doc:  "flags arithmetic mixing unit-tainted expressions and wall-clock flow into simulated-time sinks",
+			Run:  simtimeRun,
+		},
+		{
+			Name:         "statwire",
+			Doc:          "requires snake_case json tags and a write site for every numeric stats field (v1 wire schema)",
+			WholeProgram: true,
+			Run:          statwireRun,
+		},
+		{
+			Name:         "errkind",
+			Doc:          "requires every typed *Error in the taxonomy to be classified by ErrKind and the retry-skip switch",
+			WholeProgram: true,
+			Run:          errkindRun,
 		},
 	}
 }

@@ -141,11 +141,13 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
-// TestEnableDisable checks the analyzer selection flags.
+// TestEnableDisable checks the analyzer selection flags. The units fixture
+// trips both the naming check (units) and the arithmetic check (simtime), so
+// both must be disabled for a clean run.
 func TestEnableDisable(t *testing.T) {
 	dir := filepath.Join("testdata", "src", "units", "bad")
-	if res := runFixture(t, dir, Options{Disable: []string{"units"}}); len(res.Findings) != 0 {
-		t.Errorf("-disable units still reports: %v", res.Findings)
+	if res := runFixture(t, dir, Options{Disable: []string{"units", "simtime"}}); len(res.Findings) != 0 {
+		t.Errorf("-disable units,simtime still reports: %v", res.Findings)
 	}
 	if res := runFixture(t, dir, Options{Enable: []string{"wallclock"}}); len(res.Findings) != 0 {
 		t.Errorf("-enable wallclock reports units findings: %v", res.Findings)

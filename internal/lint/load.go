@@ -124,16 +124,73 @@ func (l *Loader) Load(patterns []string) ([]*Package, error) {
 		addDir(pat)
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
+
+	// Parse everything first so the load set's internal dependency graph is
+	// known before any package is type-checked.
+	type unit struct {
+		dir, path string
+		files     []*ast.File
+	}
+	var units []*unit
+	byPath := map[string]*unit{}
 	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
+		files, err := l.parseDir(dir, l.IncludeTests)
 		if err != nil {
 			return nil, err
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
+		if len(files) == 0 {
+			continue
 		}
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		u := &unit{dir: dir, path: path, files: files}
+		units = append(units, u)
+		byPath[path] = u
 	}
+
+	// Check in dependency order: a package is type-checked (bodies included)
+	// after every module-internal import that is part of this load, and the
+	// fully checked result is registered with the importer before any
+	// dependent is checked. Dependents therefore resolve against the complete
+	// package rather than the signatures-only fallback, which gives the whole
+	// program one consistent types.Object identity per function and field —
+	// the property the cross-package analyzers (parkdiscipline, statwire,
+	// errkind) rely on. An import cycle (only constructible through test
+	// files) degrades to signatures-only for the back edge.
+	var ordered []*unit
+	state := map[*unit]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(u *unit)
+	visit = func(u *unit) {
+		if state[u] != 0 {
+			return
+		}
+		state[u] = 1
+		for _, file := range u.files {
+			for _, imp := range file.Imports {
+				if dep, ok := byPath[importPath(imp)]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[u] = 2
+		ordered = append(ordered, u)
+	}
+	for _, u := range units {
+		visit(u)
+	}
+
+	pkgs := make([]*Package, 0, len(ordered))
+	for _, u := range ordered {
+		pkg := l.check(u.dir, u.path, u.files)
+		if pkg.Types != nil {
+			l.deps[u.path] = pkg.Types
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	// Presentation order is by directory, independent of dependency shape.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
 	return pkgs, nil
 }
 
@@ -165,6 +222,11 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	return l.check(dir, path, files), nil
+}
+
+// check type-checks one parsed package with full function bodies.
+func (l *Loader) check(dir, path string, files []*ast.File) *Package {
 	pkg := &Package{
 		Fset:  l.Fset,
 		Path:  path,
@@ -187,7 +249,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	tpkg, _ := conf.Check(path, l.Fset, files, info)
 	pkg.Types = tpkg
 	pkg.Info = info
-	return pkg, nil
+	return pkg
 }
 
 // parseDir parses the non-test (and optionally in-package test) files of dir.

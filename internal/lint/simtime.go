@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// simtime upgrades the units analyzer's name-suffix heuristic to a
+// taint-style unit check over real expressions. engine.Time is an alias of
+// uint64, so `latencyNs + overheadCycles` type-checks; the only defenses are
+// the names. Where units stops at declaration names, simtime tracks a unit
+// for every expression — declaration suffixes seed the units, assignments
+// propagate them into local variables, additive arithmetic preserves them —
+// and flags:
+//
+//   - additive/comparison arithmetic whose operands carry *different* known
+//     units (Cycles vs Ns vs Bytes vs Pct vs PerMille): `gap + p.CtlBytes`
+//     where gap was assigned from a Cycles-suffixed expression. * and /
+//     convert units and are exempt.
+//   - wall-clock flow into simulated time: a value derived from the walltime
+//     package (the one sanctioned wall-clock wrapper) reaching a
+//     simulated-time sink — an engine.Time conversion, an assignment to a
+//     Cycles/Ns-suffixed name, or an argument to a Cycles/Ns-suffixed
+//     parameter — inside internal/ simulation code. Simulated time must
+//     never be computed from host time, or runs stop being reproducible.
+//
+// The taint is per-function and flow-insensitive across branches (a variable
+// keeps the unit of its textually latest assignment), which is precise
+// enough for the flat arithmetic the simulator's parameter plumbing does.
+
+// simtimeMixOps are the operators requiring unit-consistent operands.
+var simtimeMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+// simtimeWallSinks are the unit suffixes that denote simulated time: flowing
+// wall-clock data into them is always a bug.
+var simtimeWallSinks = map[string]bool{"Cycles": true, "Ns": true}
+
+func simtimeRun(pass *Pass) {
+	pkg := pass.Pkg
+	wallFlow := strings.Contains(pkg.Path, "/internal/") && pkg.Name != "walltime"
+	for _, file := range pkg.Files {
+		engineNames := importNames(file, func(p string) bool {
+			return pathBase(p) == "engine"
+		})
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &simtimeWalker{
+				pass:        pass,
+				pkg:         pkg,
+				engineNames: engineNames,
+				wallFlow:    wallFlow,
+				unitOfVar:   map[types.Object]string{},
+				wallVars:    map[types.Object]bool{},
+			}
+			w.walk(fd.Body)
+		}
+	}
+}
+
+type simtimeWalker struct {
+	pass        *Pass
+	pkg         *Package
+	engineNames map[string]bool
+	wallFlow    bool
+	unitOfVar   map[types.Object]string // local variable -> carried unit
+	wallVars    map[types.Object]bool   // local variable -> wall-clock tainted
+}
+
+// walk visits body in source order, updating taint on assignments and
+// checking mixes, conversions and sinks as they appear.
+func (w *simtimeWalker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if i < len(x.Values) {
+					w.bind(name, x.Values[i])
+				}
+			}
+		case *ast.BinaryExpr:
+			if simtimeMixOps[x.Op] {
+				lu, ru := w.exprUnit(x.X), w.exprUnit(x.Y)
+				if lu != "" && ru != "" && lu != ru {
+					w.pass.Report(x.OpPos, "%s mixes units: %s (%s) %s %s (%s); convert explicitly before combining",
+						x.Op, simtimeDesc(x.X), lu, x.Op, simtimeDesc(x.Y), ru)
+				}
+			}
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+}
+
+// assign propagates units and wall taint through `=`/`:=` and checks
+// op-assign accumulation (`totalCycles += ctlBytes`) for unit mixes.
+func (w *simtimeWalker) assign(x *ast.AssignStmt) {
+	switch x.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(x.Lhs) != len(x.Rhs) {
+			return
+		}
+		for i := range x.Lhs {
+			w.checkWallAssign(x.Lhs[i], x.Rhs[i], x.TokPos)
+			if id, ok := x.Lhs[i].(*ast.Ident); ok {
+				w.bind(id, x.Rhs[i])
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+			return
+		}
+		lu, ru := w.exprUnit(x.Lhs[0]), w.exprUnit(x.Rhs[0])
+		if lu != "" && ru != "" && lu != ru {
+			w.pass.Report(x.TokPos, "%s mixes units: %s (%s) %s %s (%s); convert explicitly before combining",
+				x.Tok, simtimeDesc(x.Lhs[0]), lu, x.Tok, simtimeDesc(x.Rhs[0]), ru)
+		}
+		w.checkWallAssign(x.Lhs[0], x.Rhs[0], x.TokPos)
+	}
+}
+
+// bind records the unit and wall taint a variable inherits from rhs.
+func (w *simtimeWalker) bind(id *ast.Ident, rhs ast.Expr) {
+	if id.Name == "_" {
+		return
+	}
+	obj := w.pkg.objectOf(id)
+	if obj == nil {
+		return
+	}
+	if u := w.exprUnit(rhs); u != "" {
+		w.unitOfVar[obj] = u
+	} else {
+		delete(w.unitOfVar, obj)
+	}
+	if w.isWall(rhs) {
+		w.wallVars[obj] = true
+	} else {
+		delete(w.wallVars, obj)
+	}
+}
+
+// checkWallAssign reports wall-clock data assigned into a simulated-time
+// named location (latencyCycles = sw.Seconds()).
+func (w *simtimeWalker) checkWallAssign(lhs, rhs ast.Expr, pos token.Pos) {
+	if !w.wallFlow {
+		return
+	}
+	if suffix := unitSuffix(terminalName(lhs)); simtimeWallSinks[suffix] && w.isWall(rhs) {
+		w.pass.Report(pos, "wall-clock value (via walltime) assigned to simulated-time %s; simulated %s must derive from engine.Time, never the host clock", simtimeDesc(lhs), suffix)
+	}
+}
+
+// call checks the two call-shaped sinks: an engine.Time conversion of a
+// wall-tainted value, and a wall-tainted argument to a Cycles/Ns-named
+// parameter.
+func (w *simtimeWalker) call(x *ast.CallExpr) {
+	if !w.wallFlow {
+		return
+	}
+	if unitsIsTime(w.pkg, x.Fun, w.engineNames) && len(x.Args) == 1 {
+		if w.isWall(x.Args[0]) {
+			w.pass.Report(x.Pos(), "wall-clock value (via walltime) converted to engine.Time; simulated time must never derive from the host clock")
+		}
+		return
+	}
+	callee := w.pkg.calleeOf(x)
+	if callee == nil {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range x.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		p := sig.Params().At(i)
+		if suffix := unitSuffix(p.Name()); simtimeWallSinks[suffix] && w.isWall(arg) {
+			w.pass.Report(arg.Pos(), "wall-clock value (via walltime) passed as %s parameter %s of %s; simulated %s must derive from engine.Time, never the host clock",
+				suffix, p.Name(), funcLabel(callee), suffix)
+		}
+	}
+}
+
+// exprUnit computes the unit an expression carries, or "".
+func (w *simtimeWalker) exprUnit(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return w.exprUnit(x.X)
+	case *ast.Ident:
+		if s := unitSuffix(x.Name); s != "" {
+			return s
+		}
+		if obj := w.pkg.objectOf(x); obj != nil {
+			return w.unitOfVar[obj]
+		}
+		return ""
+	case *ast.SelectorExpr:
+		return unitSuffix(x.Sel.Name)
+	case *ast.IndexExpr:
+		return w.exprUnit(x.X)
+	case *ast.UnaryExpr:
+		return w.exprUnit(x.X)
+	case *ast.CallExpr:
+		// A conversion passes its operand's unit through; any other call
+		// carries its callee's declared suffix (hostCycles() is Cycles).
+		if w.isConversion(x) && len(x.Args) == 1 {
+			return w.exprUnit(x.Args[0])
+		}
+		return unitSuffix(terminalName(x.Fun))
+	case *ast.BinaryExpr:
+		// Same-unit addition preserves the unit; a known unit absorbs an
+		// unknown operand (constants, plain counters). * and / convert.
+		if x.Op == token.ADD || x.Op == token.SUB {
+			lu, ru := w.exprUnit(x.X), w.exprUnit(x.Y)
+			switch {
+			case lu == ru:
+				return lu
+			case lu == "":
+				return ru
+			case ru == "":
+				return lu
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// isWall reports whether an expression is wall-clock derived: a call into
+// the walltime package (Start, Stopwatch.Elapsed/Seconds), a variable
+// tainted by one, or arithmetic/conversions over either.
+func (w *simtimeWalker) isWall(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return w.isWall(x.X)
+	case *ast.Ident:
+		if obj := w.pkg.objectOf(x); obj != nil {
+			return w.wallVars[obj]
+		}
+	case *ast.UnaryExpr:
+		return w.isWall(x.X)
+	case *ast.BinaryExpr:
+		return w.isWall(x.X) || w.isWall(x.Y)
+	case *ast.CallExpr:
+		if callee := w.pkg.calleeOf(x); callee != nil {
+			return callee.Pkg() != nil && callee.Pkg().Name() == "walltime"
+		}
+		if w.isConversion(x) && len(x.Args) == 1 {
+			return w.isWall(x.Args[0])
+		}
+	}
+	return false
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func (w *simtimeWalker) isConversion(x *ast.CallExpr) bool {
+	if w.pkg.Info == nil {
+		return false
+	}
+	tv, ok := w.pkg.Info.Types[x.Fun]
+	return ok && tv.IsType()
+}
+
+// simtimeDesc renders an operand for diagnostics: its terminal name when it
+// has one, the full expression otherwise.
+func simtimeDesc(e ast.Expr) string {
+	if name := terminalName(e); name != "" {
+		return name
+	}
+	return types.ExprString(e)
+}

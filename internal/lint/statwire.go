@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// statwire guards the statistics wire contract from both ends. The stats
+// package's JSON tags are schema v1: the persistent cell cache, the daemon
+// and the CLI all serialize runs in that exact shape, and golden files pin
+// the bytes. Two drift classes have bitten similar codebases: a counter is
+// added to the struct but no code ever increments it (tables render zeros
+// that look like measurements), or a field lands without a tag and either
+// leaks its Go name into the wire or silently vanishes from it. So, for
+// every exported numeric field (plain numeric or fixed-size numeric array)
+// of an exported struct in a package named "stats":
+//
+//   - the field must carry a json tag whose name is lowercase snake_case
+//     (the v1 convention; "-" and empty names are findings too, because a
+//     numeric stat that cannot reach the wire is dead weight), and
+//   - the program must contain at least one write site: an assignment
+//     (including op-assign and writes through an index, p.Time[k] += n),
+//     an increment/decrement, an address-taken use, or a composite-literal
+//     initialization.
+//
+// The write-site check is whole-program — counters are declared in stats but
+// incremented from node, proto, network and machine — which is exactly why
+// the driver loads everything with one consistent object identity per field.
+
+func statwireRun(pass *Pass) {
+	var statsPkgs []*Package
+	for _, pkg := range pass.Prog.Pkgs {
+		if pkg.Name == "stats" {
+			statsPkgs = append(statsPkgs, pkg)
+		}
+	}
+	if len(statsPkgs) == 0 {
+		return
+	}
+	written := statwireWrites(pass.Prog)
+	for _, pkg := range statsPkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok || st.Fields == nil {
+						continue
+					}
+					statwireStruct(pass, pkg, ts.Name.Name, st, written)
+				}
+			}
+		}
+	}
+}
+
+// statwireStruct checks one exported struct's fields.
+func statwireStruct(pass *Pass, pkg *Package, structName string, st *ast.StructType, written map[*types.Var]bool) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[name].(*types.Var)
+			if obj == nil || !statwireNumeric(obj.Type()) {
+				continue
+			}
+			if msg := statwireTagProblem(field.Tag); msg != "" {
+				pass.Report(name.Pos(), "numeric stats field %s.%s %s; the v1 wire schema pins every stats counter to a lowercase snake_case json tag",
+					structName, name.Name, msg)
+			}
+			if !written[obj] {
+				pass.Report(name.Pos(), "numeric stats field %s.%s is never written anywhere in the program; wire the counter up or delete it (a stat that renders as zero looks like a measurement)",
+					structName, name.Name)
+			}
+		}
+	}
+}
+
+// statwireNumeric reports whether t is a plain numeric type or a fixed-size
+// array of one — the shapes the stats package serializes.
+func statwireNumeric(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsNumeric != 0
+	case *types.Array:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsNumeric != 0
+	}
+	return false
+}
+
+// statwireTagProblem validates a field's json tag, returning a problem
+// description or "".
+func statwireTagProblem(tag *ast.BasicLit) string {
+	if tag == nil {
+		return "has no json tag"
+	}
+	raw, err := strconv.Unquote(tag.Value)
+	if err != nil {
+		return "has a malformed struct tag"
+	}
+	jsonTag, ok := lookupTag(raw, "json")
+	if !ok {
+		return "has no json tag"
+	}
+	name, _, _ := strings.Cut(jsonTag, ",")
+	switch {
+	case name == "":
+		return "has a json tag without a name"
+	case name == "-":
+		return `is excluded from the wire with json:"-"`
+	case !snakeCase(name):
+		return "has json tag " + strconv.Quote(name) + " that is not snake_case"
+	}
+	return ""
+}
+
+// lookupTag extracts one key's value from a struct tag (the reflect
+// convention, reimplemented to keep the analyzer reflect-free).
+func lookupTag(tag, key string) (string, bool) {
+	for tag != "" {
+		tag = strings.TrimLeft(tag, " ")
+		i := strings.IndexByte(tag, ':')
+		if i < 0 {
+			break
+		}
+		k := tag[:i]
+		rest := tag[i+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		j := 1
+		for j < len(rest) && rest[j] != '"' {
+			if rest[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(rest) {
+			break
+		}
+		value, err := strconv.Unquote(rest[:j+1])
+		if err != nil {
+			break
+		}
+		if k == key {
+			return value, true
+		}
+		tag = rest[j+1:]
+	}
+	return "", false
+}
+
+// snakeCase reports whether name is lowercase snake_case: a lowercase letter
+// followed by lowercase letters, digits and underscores.
+func snakeCase(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// statwireWrites collects every struct field written anywhere in the
+// program. Field identity is the canonical *types.Var, so a write in
+// internal/node counts for a field declared in internal/stats.
+func statwireWrites(prog *Program) map[*types.Var]bool {
+	written := map[*types.Var]bool{}
+	for _, pkg := range prog.Pkgs {
+		mark := func(e ast.Expr) {
+			if v := statwireFieldVar(pkg, e); v != nil {
+				written[v] = true
+			}
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						mark(lhs)
+					}
+				case *ast.IncDecStmt:
+					mark(x.X)
+				case *ast.UnaryExpr:
+					// Address-taken fields are writable through the pointer.
+					if x.Op == token.AND {
+						mark(x.X)
+					}
+				case *ast.CompositeLit:
+					statwireLitWrites(pkg, x, written)
+				}
+				return true
+			})
+		}
+	}
+	return written
+}
+
+// statwireFieldVar resolves an lvalue expression to the struct field it
+// writes, unwrapping indexes, parens and derefs (p.Time[k], (*r).Cycles).
+func statwireFieldVar(pkg *Package, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				v, _ := sel.Obj().(*types.Var)
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// statwireLitWrites marks fields initialized by a composite literal, keyed
+// (Run{Cycles: 9}) or positional.
+func statwireLitWrites(pkg *Package, lit *ast.CompositeLit, written map[*types.Var]bool) {
+	t := pkg.typeOf(lit)
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	keyed := false
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				if v, ok := pkg.Info.Uses[key].(*types.Var); ok {
+					written[v] = true
+				}
+			}
+		}
+	}
+	if !keyed {
+		for i := range lit.Elts {
+			if i < st.NumFields() {
+				written[st.Field(i)] = true
+			}
+		}
+	}
+}

@@ -22,13 +22,22 @@ type suppressionSet struct {
 
 const ignorePrefix = "svmlint:ignore"
 
-// collectSuppressions scans a package's comments for //svmlint:ignore
-// directives. Malformed directives (unknown analyzer, missing reason) are
-// reported immediately as findings of the pseudo-analyzer "svmlint": a
-// suppression is a documented exception, and an exception without a written
-// justification is itself a violation.
-func collectSuppressions(pkg *Package, known map[string]bool, report func(Finding)) *suppressionSet {
+// collectSuppressions scans every loaded package's comments for
+// //svmlint:ignore directives. The set is program-wide because whole-program
+// analyzers report findings in any package, not just the one being walked.
+// Malformed directives (unknown analyzer, missing reason) are reported
+// immediately as findings of the pseudo-analyzer "svmlint": a suppression is
+// a documented exception, and an exception without a written justification
+// is itself a violation.
+func collectSuppressions(pkgs []*Package, known map[string]bool, report func(Finding)) *suppressionSet {
 	set := &suppressionSet{byLine: map[string]map[int][]*suppression{}}
+	for _, pkg := range pkgs {
+		collectPkgSuppressions(pkg, set, known, report)
+	}
+	return set
+}
+
+func collectPkgSuppressions(pkg *Package, set *suppressionSet, known map[string]bool, report func(Finding)) {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -74,7 +83,6 @@ func collectSuppressions(pkg *Package, known map[string]bool, report func(Findin
 			}
 		}
 	}
-	return set
 }
 
 // match looks for a suppression covering a finding at pos: the directive may

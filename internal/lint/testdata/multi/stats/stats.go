@@ -1,0 +1,9 @@
+// Package stats declares a counter that only the sibling writer package
+// increments: the statwire write-site fact must flow across packages when
+// both are loaded as one program.
+package stats
+
+// Net is wire schema; Bytes is written only from the writer package.
+type Net struct {
+	Bytes uint64 `json:"bytes"`
+}

@@ -1,0 +1,10 @@
+// Package writer increments the counter declared in the sibling stats
+// package.
+package writer
+
+import "svmsim/internal/lint/testdata/multi/stats"
+
+// Account charges n bytes to the run.
+func Account(n *stats.Net, amount uint64) {
+	n.Bytes += amount
+}

@@ -16,11 +16,23 @@ func (s *Sim) At(delay Time, fn func()) {}
 // Spawn starts a fake thread.
 func (s *Sim) Spawn(name string, fn func(t *Thread)) *Thread { return &Thread{} }
 
+// Run drains the event queue until quiescence (a blocking entry point).
+func (s *Sim) Run() error { return nil }
+
 // Thread is a fake cooperative thread.
 type Thread struct{}
+
+// Park suspends the thread until another thread unparks it.
+func (t *Thread) Park() {}
 
 // Delay suspends for n cycles, then runs fn (fixture-only callback form).
 func (t *Thread) Delay(n Time, fn func()) {}
 
 // Unpark wakes the thread, then runs fn (fixture-only callback form).
 func (t *Thread) Unpark(fn func()) {}
+
+// Cond is a fake condition variable.
+type Cond struct{}
+
+// Wait parks t until the condition is signaled.
+func (c *Cond) Wait(t *Thread) {}

@@ -1,0 +1,28 @@
+// Package fail exercises errkind: an error type missing from the wire-kind
+// classifier and from the retry-skip switch must be flagged at its
+// declaration.
+package fail
+
+// StallError is classified and dispositioned.
+type StallError struct{}
+
+func (e *StallError) Error() string { return "stall" }
+
+// DriftError is in the taxonomy but both switches forgot it.
+type DriftError struct{}
+
+func (e *DriftError) Error() string { return "drift" }
+
+// ErrKind maps typed failures to wire kinds.
+func ErrKind(err error) string {
+	if _, ok := err.(*StallError); ok {
+		return "stall"
+	}
+	return "failed"
+}
+
+// deterministicErr decides whether a failure is worth retrying.
+func deterministicErr(err error) bool {
+	_, ok := err.(*StallError)
+	return ok
+}

@@ -1,0 +1,35 @@
+// Package fail exercises errkind's accepted shape: every taxonomy member is
+// named in both the classifier and the retry-skip switch.
+package fail
+
+// StallError is a modeled, deterministic failure.
+type StallError struct{}
+
+func (e *StallError) Error() string { return "stall" }
+
+// DriftError is a host-level failure worth retrying.
+type DriftError struct{}
+
+func (e *DriftError) Error() string { return "drift" }
+
+// ErrKind maps typed failures to wire kinds.
+func ErrKind(err error) string {
+	switch err.(type) {
+	case *StallError:
+		return "stall"
+	case *DriftError:
+		return "drift"
+	}
+	return "failed"
+}
+
+// deterministicErr decides whether a failure is worth retrying.
+func deterministicErr(err error) bool {
+	switch err.(type) {
+	case *StallError:
+		return true
+	case *DriftError:
+		return false
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+// Package fail pins the errkind suppression path: one reasoned ignore on the
+// declaration covers both the classifier and the retry findings.
+package fail
+
+// StallError is classified and dispositioned.
+type StallError struct{}
+
+func (e *StallError) Error() string { return "stall" }
+
+// ScratchError is deliberately outside the wire taxonomy.
+//
+//svmlint:ignore errkind fixture-only error, never crosses the wire
+type ScratchError struct{}
+
+func (e *ScratchError) Error() string { return "scratch" }
+
+// ErrKind maps typed failures to wire kinds.
+func ErrKind(err error) string {
+	if _, ok := err.(*StallError); ok {
+		return "stall"
+	}
+	return "failed"
+}
+
+// deterministicErr decides whether a failure is worth retrying.
+func deterministicErr(err error) bool {
+	_, ok := err.(*StallError)
+	return ok
+}

@@ -1,12 +1,11 @@
 // Package model exercises hotalloc: every function literal below is handed
-// to an engine scheduling call and must be flagged.
+// to a per-event engine scheduling call and must be flagged.
 package model
 
 import "svmsim/internal/lint/testdata/src/engine"
 
-func arm(s *engine.Sim, t *engine.Thread, m *engine.Sim) {
+func arm(s *engine.Sim, t *engine.Thread) {
 	s.At(10, func() {})
 	t.Delay(5, func() {})
-	s.Spawn("worker", func(th *engine.Thread) {})
 	t.Unpark(func() {})
 }

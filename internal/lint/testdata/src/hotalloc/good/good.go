@@ -12,6 +12,12 @@ func arm(s *engine.Sim, t *engine.Thread) {
 	t.Delay(5, tick)
 }
 
+// Spawn is out of scope: thread creation allocates the Thread and goroutine
+// regardless, so a closure argument is noise next to it.
+func spawn(s *engine.Sim) {
+	s.Spawn("worker", func(th *engine.Thread) {})
+}
+
 // queue is not an engine type; its At is unrelated to the scheduler.
 type queue struct{}
 

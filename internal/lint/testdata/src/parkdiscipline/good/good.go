@@ -1,0 +1,32 @@
+// Package model exercises parkdiscipline's allowed shapes: unlocking before
+// entering the engine, and goroutines that block on their own stack rather
+// than under the spawner's lock.
+package model
+
+import (
+	"sync"
+
+	"svmsim/internal/lint/testdata/src/engine"
+)
+
+// Suite mirrors the harness shape.
+type Suite struct {
+	mu  sync.Mutex
+	sim *engine.Sim
+}
+
+// runUnlocked releases the lock before entering the engine.
+func (s *Suite) runUnlocked() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.sim.Run()
+}
+
+// spawnWorker's goroutine parks on its own stack; it does not inherit mu.
+func (s *Suite) spawnWorker(t *engine.Thread) {
+	s.mu.Lock()
+	go func() {
+		t.Park()
+	}()
+	s.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package model pins the parkdiscipline suppression path: a reasoned
+// //svmlint:ignore moves the finding to the suppressed list.
+package model
+
+import (
+	"sync"
+
+	"svmsim/internal/lint/testdata/src/engine"
+)
+
+// Suite mirrors the harness shape.
+type Suite struct {
+	mu  sync.Mutex
+	sim *engine.Sim
+}
+
+func (s *Suite) drain() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//svmlint:ignore parkdiscipline single-goroutine fixture; nothing else ever takes mu
+	return s.sim.Run()
+}

@@ -1,0 +1,38 @@
+// Package cost exercises simtime: unit mixes tracked through local variables
+// and wall-clock values flowing into simulated time must be flagged.
+package cost
+
+import (
+	"svmsim/internal/lint/testdata/src/engine"
+	"svmsim/internal/lint/testdata/src/walltime"
+)
+
+// total mixes units the declaration-name check cannot see: gap carries
+// Cycles through the local binding, ctlBytes carries Bytes.
+func total(gapCycles, ctlBytes engine.Time) engine.Time {
+	gap := gapCycles
+	if gap > ctlBytes {
+		return gap
+	}
+	return gap + ctlBytes
+}
+
+// accumulate mixes units in an op-assign.
+func accumulate(totalCycles, ctlBytes engine.Time) engine.Time {
+	totalCycles += ctlBytes
+	return totalCycles
+}
+
+// calibrate funnels host time into simulated time via a conversion.
+func calibrate(sw *walltime.Stopwatch) engine.Time {
+	host := sw.Seconds()
+	return engine.Time(host)
+}
+
+// armBudget passes a wall-tainted value to a Cycles-named parameter.
+func armBudget(sw *walltime.Stopwatch) {
+	budget := uint64(sw.Seconds())
+	spin(budget)
+}
+
+func spin(nCycles uint64) { _ = nCycles }

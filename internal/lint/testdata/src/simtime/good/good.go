@@ -1,0 +1,27 @@
+// Package cost exercises simtime's allowed shapes: same-unit arithmetic,
+// multiplicative conversion between units, and wall-clock values that stay
+// on the host side.
+package cost
+
+import (
+	"svmsim/internal/lint/testdata/src/engine"
+	"svmsim/internal/lint/testdata/src/walltime"
+)
+
+// sum adds like to like; the bare constant absorbs into the known unit.
+func sum(gapCycles, slackCycles engine.Time) engine.Time {
+	total := gapCycles + slackCycles
+	return total + 1
+}
+
+// toCycles converts bytes to cycles multiplicatively before combining.
+func toCycles(ctlBytes, cyclesPerByte, baseCycles engine.Time) engine.Time {
+	xferCycles := ctlBytes * cyclesPerByte
+	return xferCycles + baseCycles
+}
+
+// report keeps wall-clock data on the host side.
+func report(sw *walltime.Stopwatch) float64 {
+	elapsed := sw.Seconds()
+	return elapsed * 1000
+}

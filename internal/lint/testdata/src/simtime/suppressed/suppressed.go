@@ -1,0 +1,11 @@
+// Package cost pins the simtime suppression path: a reasoned ignore moves
+// the unit-mix finding to the suppressed list.
+package cost
+
+import "svmsim/internal/lint/testdata/src/engine"
+
+// pack folds a byte count into a cycle budget knowingly.
+func pack(budgetCycles, ctlBytes engine.Time) engine.Time {
+	//svmlint:ignore simtime fixture encodes one cycle per byte; the mix is the conversion
+	return budgetCycles + ctlBytes
+}

@@ -1,0 +1,20 @@
+// Package stats exercises statwire: untagged, badly tagged and never-written
+// exported numeric fields of exported structs must be flagged.
+package stats
+
+// Run mirrors the real stats shape: exported numeric counters are v1 wire
+// schema.
+type Run struct {
+	Cycles uint64 `json:"cycles"`
+	Faults uint64
+	Misses uint64 `json:"Misses"`
+	Unused uint64 `json:"unused"`
+	note   string
+}
+
+func bump(r *Run) {
+	r.Cycles++
+	r.Faults++
+	r.Misses += 2
+	_ = r.note
+}

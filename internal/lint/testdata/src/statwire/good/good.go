@@ -1,0 +1,19 @@
+// Package stats exercises statwire's accepted shape: every exported numeric
+// field carries a snake_case json tag and has a write site (composite
+// literals and index writes count).
+package stats
+
+// Run is wire schema with all counters wired up.
+type Run struct {
+	Cycles uint64    `json:"cycles"`
+	Time   [3]uint64 `json:"time"`
+	Name   string    `json:"name"`
+}
+
+func fresh(cycles uint64) *Run {
+	return &Run{Cycles: cycles}
+}
+
+func charge(r *Run, k int, n uint64) {
+	r.Time[k] += n
+}

@@ -1,0 +1,13 @@
+// Package walltime is a miniature stand-in for svmsim/internal/walltime used
+// by the simtime fixtures: the one sanctioned wall-clock wrapper. Any value
+// flowing out of it is wall-clock tainted.
+package walltime
+
+// Stopwatch measures host time.
+type Stopwatch struct{}
+
+// Start begins a measurement.
+func Start() *Stopwatch { return &Stopwatch{} }
+
+// Seconds returns the elapsed host seconds.
+func (s *Stopwatch) Seconds() float64 { return 0 }

@@ -10,26 +10,27 @@ import (
 // units enforces the naming convention that makes the simulator's
 // configuration self-documenting: every exported constant, variable and
 // struct field declared with type engine.Time must carry an explicit unit
-// suffix (Cycles, Ns, Bytes, Pct, PerMille) or a rate marker ("Per", as in
-// BytesPerCycle or PollTaxPerMille). engine.Time is a type alias for uint64,
-// so the type system cannot tell a nanosecond from a cycle from a byte count
-// — the name is the only carrier of the unit, and the paper's parameter
-// sweeps (host overhead in cycles vs. link latency in ns before conversion)
-// make silent unit confusion a realistic bug class. Plain numeric
-// declarations whose name contains a quantity stem (Timeout, Latency, Delay,
-// Overhead, Occupancy, Interval, Backoff) are held to the same rule, so
-// recovery knobs like a retransmit timeout or an int backoff factor cannot
-// be introduced unitless either. As a second line of defense, additive
-// arithmetic and comparisons between two identifiers with *different*
-// recognized suffixes are flagged (multiplying or dividing is how units are
-// legitimately converted, so * and / are exempt).
+// suffix (Cycles, Ns, Bytes, Pct, PerMille), a rate marker ("Per", as in
+// BytesPerCycle or PollTaxPerMille) or the dimensionless marker "Ratio"
+// (BusRatio: processor cycles per bus cycle). engine.Time is a type alias
+// for uint64, so the type system cannot tell a nanosecond from a cycle from
+// a byte count — the name is the only carrier of the unit, and the paper's
+// parameter sweeps (host overhead in cycles vs. link latency in ns before
+// conversion) make silent unit confusion a realistic bug class. Plain
+// numeric declarations whose name contains a quantity stem (Timeout,
+// Latency, Delay, Overhead, Occupancy, Interval, Backoff) are held to the
+// same rule, so recovery knobs like a retransmit timeout or an int backoff
+// factor cannot be introduced unitless either. Unit-consistent *arithmetic*
+// is the simtime analyzer's job, which tracks units through expressions and
+// local variables rather than just declaration names.
 
 // unitSuffixes are the recognized unit markers, longest first.
 var unitSuffixes = []string{"PerMille", "Cycles", "Bytes", "Pct", "Ns"}
 
-// unitOK reports whether an engine.Time declaration name carries a unit.
+// unitOK reports whether an engine.Time declaration name carries a unit, a
+// Per-rate or the dimensionless Ratio marker.
 func unitOK(name string) bool {
-	return unitSuffix(name) != "" || strings.Contains(name, "Per")
+	return unitSuffix(name) != "" || strings.Contains(name, "Per") || strings.HasSuffix(name, "Ratio")
 }
 
 // quantityStems mark names denoting a physical quantity (a time span, a cost,
@@ -90,7 +91,8 @@ func unitSuffix(name string) string {
 	return ""
 }
 
-func unitsRun(pkg *Package, report reportFunc) {
+func unitsRun(pass *Pass) {
+	pkg, report := pass.Pkg, pass.Report
 	for _, file := range pkg.Files {
 		engineNames := importNames(file, func(p string) bool {
 			return pathBase(p) == "engine"
@@ -146,8 +148,6 @@ func unitsRun(pkg *Package, report reportFunc) {
 						}
 					}
 				}
-			case *ast.BinaryExpr:
-				unitsCheckMix(pkg, x, report)
 			}
 			return true
 		})
@@ -176,27 +176,4 @@ func unitsIsTime(pkg *Package, e ast.Expr, engineNames map[string]bool) bool {
 		return engineNames[id.Name]
 	}
 	return false
-}
-
-// unitsMixOps are the operators that require both operands to be in the same
-// unit. Multiplication and division convert units and are exempt.
-var unitsMixOps = map[token.Token]bool{
-	token.ADD: true, token.SUB: true,
-	token.EQL: true, token.NEQ: true,
-	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
-}
-
-// unitsCheckMix flags additive/comparison expressions whose two operands are
-// named with different unit suffixes (HostOverheadCycles + CtlBytes).
-func unitsCheckMix(pkg *Package, b *ast.BinaryExpr, report reportFunc) {
-	if !unitsMixOps[b.Op] {
-		return
-	}
-	ls := unitSuffix(terminalName(b.X))
-	rs := unitSuffix(terminalName(b.Y))
-	if ls == "" || rs == "" || ls == rs {
-		return
-	}
-	report(b.OpPos, "%s mixes units: %s (%s) %s %s (%s); convert explicitly before combining",
-		b.Op, terminalName(b.X), ls, b.Op, terminalName(b.Y), rs)
 }

@@ -34,7 +34,8 @@ var wallclockRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
 }
 
-func wallclockRun(pkg *Package, report reportFunc) {
+func wallclockRun(pass *Pass) {
+	pkg, report := pass.Pkg, pass.Report
 	if !strings.Contains(pkg.Path, "/internal/") || pkg.Name == "walltime" {
 		return
 	}

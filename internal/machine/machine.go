@@ -228,7 +228,6 @@ func Run(cfg Config, app App) (*Result, error) {
 		if counts {
 			expected++
 		}
-		//svmlint:ignore hotalloc one closure per processor at run setup, not on the event path
 		th := sim.Spawn(fmt.Sprintf("proc%d", g), func(t *engine.Thread) {
 			c := shm.NewProc(w, sys.Procs[g], appID, len(appProcs), t)
 			c.P.Bind(t, &run.Procs[g])

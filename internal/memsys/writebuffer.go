@@ -111,7 +111,6 @@ func (w *WriteBuffer) startDrain() {
 		return
 	}
 	w.draining = true
-	//svmlint:ignore hotalloc drain thread is spawned once per burst and retires the whole buffer
 	w.sim.Spawn(w.name+"-drain", func(t *engine.Thread) {
 		for len(w.lines) > 0 {
 			line := w.lines[0]

@@ -320,7 +320,6 @@ func (ni *NI) startSender() {
 		return
 	}
 	ni.sending = true
-	//svmlint:ignore hotalloc sender thread is spawned once per send burst, then drains the whole queue
 	ni.sim.Spawn(fmt.Sprintf("ni%d-send", ni.nodeID), func(t *engine.Thread) {
 		for len(ni.sendQ) > 0 {
 			m := ni.sendQ[0]
@@ -406,7 +405,6 @@ func (ni *NI) startReceiver() {
 		return
 	}
 	ni.recving = true
-	//svmlint:ignore hotalloc receiver thread is spawned once per receive burst, then drains the whole queue
 	ni.sim.Spawn(fmt.Sprintf("ni%d-recv", ni.nodeID), func(t *engine.Thread) {
 		for len(ni.recvQ) > 0 {
 			m := ni.recvQ[0]

@@ -30,7 +30,6 @@ type Params struct {
 	WBRetireAt int
 
 	BusWidthBytes int
-	//svmlint:ignore units dimensionless clock-rate ratio (processor cycles per bus cycle)
 	BusRatio      engine.Time // processor cycles per bus cycle
 	BusArbCycles  engine.Time // bus cycles
 	BusAddrCycles engine.Time // bus cycles

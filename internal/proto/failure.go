@@ -357,7 +357,6 @@ func (fd *failureDetector) recoverLocks(ht *engine.Thread, deadNode int) {
 				hn.busy = true
 				hn.requested = false
 				holderNode, lockID := holder, id
-				//svmlint:ignore hotalloc recovery path, runs once per lock per death
 				sy.Sim.Spawn(fmt.Sprintf("lock%d-reclaim@n%d", lockID, holderNode), func(t *engine.Thread) {
 					sy.handoff(t, nil, false, sy.ns[holderNode], lockID)
 				})

@@ -357,7 +357,6 @@ func (sy *System) handleLockGrant(m *network.Message) {
 	// (the NI receive thread must not block on the release fence, since it
 	// is the thread that delivers the acks).
 	ln.requested = false
-	//svmlint:ignore hotalloc regrant needs a fresh thread; Spawn allocates the thread regardless, the closure is noise next to it
 	sy.Sim.Spawn(fmt.Sprintf("lock%d-regrant@n%d", g.lock, ns.id), func(t *engine.Thread) {
 		ns.applyNotices(t, nil, false, g.notices, g.vc)
 		sy.handoff(t, nil, false, ns, int(g.lock))

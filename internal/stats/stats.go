@@ -207,12 +207,13 @@ func (r *Run) CriticalPath() uint64 {
 
 // Speedups bundles the three speedup figures the paper reports for a single
 // application: the realistic/achievable speedup, plus the ideal speedup
-// limit computed from the same run.
+// limit computed from the same run. Like every stats struct, the fields pin
+// their wire names with snake_case json tags (enforced by svmlint statwire).
 type Speedups struct {
-	Uniproc    uint64  // uniprocessor execution time (cycles)
-	Parallel   uint64  // parallel execution time (cycles)
-	Ideal      float64 // uniproc / max_p(compute+localstall)
-	Achievable float64 // uniproc / parallel
+	Uniproc    uint64  `json:"uniproc"`    // uniprocessor execution time (cycles)
+	Parallel   uint64  `json:"parallel"`   // parallel execution time (cycles)
+	Ideal      float64 `json:"ideal"`      // uniproc / max_p(compute+localstall)
+	Achievable float64 `json:"achievable"` // uniproc / parallel
 }
 
 // ComputeSpeedups derives speedups from a uniprocessor time and a parallel

@@ -110,6 +110,13 @@ type (
 	LinkFailureError = network.LinkFailureError
 	// StallError reports the progress watchdog firing (see Config.MaxCycles).
 	StallError = engine.StallError
+	// DeadlockError reports the event queue draining with threads parked.
+	DeadlockError = engine.DeadlockError
+	// LivelockError reports the event budget running out (see
+	// Config.MaxEvents).
+	LivelockError = engine.LivelockError
+	// ThreadPanicError reports a panic inside a simulated thread.
+	ThreadPanicError = engine.ThreadPanicError
 	// CrashPlan schedules crash-stop node failures (Config.Net.Crash).
 	CrashPlan = network.CrashPlan
 	// CrashTime is one scheduled node death of a CrashPlan.
