@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-baseline lint-report build test race chaos serve-smoke bench bench-engine bench-smoke bench-snapshot experiments faults
+.PHONY: check vet lint lint-baseline lint-report build test race chaos serve-smoke chaos-serve bench bench-engine bench-smoke bench-snapshot experiments faults
 
-check: vet lint build test race chaos serve-smoke
+check: vet lint build test race chaos serve-smoke chaos-serve
 
 vet:
 	$(GO) vet ./...
@@ -39,10 +39,11 @@ test:
 	$(GO) test ./...
 
 # The race set covers the packages with real concurrency (the parallel
-# experiment Runner, the engine) plus the fault-recovery machinery whose
-# livelock regressions must fail fast instead of hanging.
+# experiment Runner, the engine, the serving daemon's worker pool and
+# watchdog) plus the fault-recovery machinery whose livelock regressions must
+# fail fast instead of hanging.
 race:
-	$(GO) test -race -timeout 10m ./internal/exp/... ./internal/engine/... ./internal/network/... ./internal/proto/...
+	$(GO) test -race -timeout 10m ./internal/exp/... ./internal/engine/... ./internal/network/... ./internal/proto/... ./internal/server/...
 
 # Crash-stop smoke: the node-crash sweep on a small topology under the race
 # detector — heartbeat detection, recovery and degraded-mode completion end
@@ -55,6 +56,13 @@ chaos:
 # SIGTERM and require a clean drain. Seconds end to end.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Daemon crash safety: SIGKILL svmsimd mid-sweep, restart it on the same
+# journal and cache, and require the replayed job to finish byte-identical to
+# an uninterrupted run with no cached cell simulated twice. Seconds end to
+# end; set CHAOS_ARTIFACT_DIR to preserve the journal and logs on failure.
+chaos-serve:
+	sh scripts/chaos_serve.sh
 
 # Single-run and suite-level throughput benchmarks (before/after numbers for
 # EXPERIMENTS.md).

@@ -11,10 +11,18 @@
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/result    canonical result document (?wait=1 blocks)
 //	GET  /metrics                Prometheus text metrics
-//	GET  /healthz                liveness + drain state
+//	GET  /healthz                liveness: the process is up
+//	GET  /readyz                 readiness: accepting work (503 during drain)
 //
 // A full admission queue rejects with 429 + Retry-After; SIGINT/SIGTERM
 // drains: admission stops (503) while every accepted job runs to completion.
+//
+// With -journal-dir the daemon is crash-safe: every accepted job is fsynced
+// to a write-ahead journal before the 202 reaches the client, and a restart
+// replays the journal — incomplete jobs are re-enqueued (warm from the
+// -cache-dir disk cache) and resubmissions of in-flight work coalesce onto
+// the surviving job id. -job-deadline arms a per-attempt watchdog that
+// retries stuck jobs with backoff and quarantines them after -max-attempts.
 package main
 
 import (
@@ -34,22 +42,49 @@ import (
 	"svmsim/internal/server"
 )
 
+// options collects every flag so run stays a single-signature seam for the
+// integration tests.
+type options struct {
+	addr       string
+	size       string
+	procs      int
+	ppn        int
+	parallel   int
+	cacheDir   string
+	journalDir string
+	queue      int
+	workers    int
+	retry      int
+	deadline   time.Duration
+	maxAtt     int
+	backoff    time.Duration
+	reqTO      time.Duration
+	drainTO    time.Duration
+	pprofAddr  string
+	verbose    bool
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", "127.0.0.1:7117", "listen address")
-		size     = flag.String("size", "small", "problem size: small or default")
-		parallel = flag.Int("parallel", 0, "concurrent cell simulations per sweep (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache-dir", "", "persist finished cells to this directory and reuse them across restarts")
-		queue    = flag.Int("queue-depth", 64, "admission queue bound; overflow is 429")
-		workers  = flag.Int("workers", 2, "job worker pool size")
-		retry    = flag.Int("retry-after", 2, "Retry-After seconds advertised on 429")
-		reqTO    = flag.Duration("request-timeout", 10*time.Minute, "per-request handler timeout (bounds ?wait=1 long polls)")
-		drainTO  = flag.Duration("drain-timeout", 10*time.Minute, "how long shutdown waits for accepted jobs before giving up")
-		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
-		verbose  = flag.Bool("v", false, "progress output")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7117", "listen address")
+	flag.StringVar(&o.size, "size", "small", "problem size: small or default")
+	flag.IntVar(&o.procs, "procs", 0, "baseline processor count (0 = suite default, 16)")
+	flag.IntVar(&o.ppn, "ppn", 0, "baseline processors per node (0 = suite default, 4)")
+	flag.IntVar(&o.parallel, "parallel", 0, "concurrent cell simulations per sweep (0 = GOMAXPROCS)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persist finished cells to this directory and reuse them across restarts")
+	flag.StringVar(&o.journalDir, "journal-dir", "", "fsync accepted jobs to a journal in this directory and replay it on restart; off when empty")
+	flag.IntVar(&o.queue, "queue-depth", 64, "admission queue bound; overflow is 429")
+	flag.IntVar(&o.workers, "workers", 2, "job worker pool size")
+	flag.IntVar(&o.retry, "retry-after", 2, "Retry-After seconds advertised on 429")
+	flag.DurationVar(&o.deadline, "job-deadline", 0, "wall-clock bound per job execution attempt; 0 disables the watchdog")
+	flag.IntVar(&o.maxAtt, "max-attempts", 3, "attempts before a timed-out job is quarantined")
+	flag.DurationVar(&o.backoff, "retry-backoff", 500*time.Millisecond, "base delay before retrying a timed-out job (doubles per attempt)")
+	flag.DurationVar(&o.reqTO, "request-timeout", 10*time.Minute, "per-request handler timeout (bounds ?wait=1 long polls)")
+	flag.DurationVar(&o.drainTO, "drain-timeout", 10*time.Minute, "how long shutdown waits for accepted jobs before giving up")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
+	flag.BoolVar(&o.verbose, "v", false, "progress output")
 	flag.Parse()
-	if err := run(*addr, *size, *parallel, *cacheDir, *queue, *workers, *retry, *reqTO, *drainTO, *pprofOn, *verbose); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -79,39 +114,49 @@ func servePprof(addr string) error {
 	return nil
 }
 
-func run(addr, size string, parallel int, cacheDir string, queue, workers, retry int, reqTO, drainTO time.Duration, pprofAddr string, verbose bool) error {
-	if pprofAddr != "" {
-		if err := servePprof(pprofAddr); err != nil {
+func run(o options) error {
+	if o.pprofAddr != "" {
+		if err := servePprof(o.pprofAddr); err != nil {
 			return err
 		}
 	}
 	sizes := exp.Small
-	if strings.EqualFold(size, "default") {
+	if strings.EqualFold(o.size, "default") {
 		sizes = exp.Default
 	}
 	suite := exp.NewSuite(sizes)
-	suite.Parallelism = parallel
-	suite.CacheDir = cacheDir
-	if verbose {
+	if o.procs > 0 {
+		suite.Procs = o.procs
+	}
+	if o.ppn > 0 {
+		suite.PPN = o.ppn
+	}
+	suite.Parallelism = o.parallel
+	suite.CacheDir = o.cacheDir
+	if o.verbose {
 		suite.Verbose = os.Stderr
 	}
 
 	srv, err := server.New(server.Config{
 		Suite:             suite,
-		QueueDepth:        queue,
-		Workers:           workers,
-		RetryAfterSeconds: retry,
+		QueueDepth:        o.queue,
+		Workers:           o.workers,
+		RetryAfterSeconds: o.retry,
+		JournalDir:        o.journalDir,
+		JobDeadline:       o.deadline,
+		MaxAttempts:       o.maxAtt,
+		RetryBackoff:      o.backoff,
 	})
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           http.TimeoutHandler(srv.Handler(), reqTO, `{"error":{"kind":"timeout","message":"request timed out"}}`+"\n"),
+		Handler:           http.TimeoutHandler(srv.Handler(), o.reqTO, `{"error":{"kind":"timeout","message":"request timed out"}}`+"\n"),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -130,7 +175,7 @@ func run(addr, size string, parallel int, cacheDir string, queue, workers, retry
 	stop() // a second signal kills immediately
 
 	fmt.Fprintln(os.Stderr, "svmsimd: draining")
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTO)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTO)
 	defer cancel()
 	drainErr := srv.Drain(drainCtx)
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)

@@ -230,6 +230,8 @@ func ErrKind(err error) string {
 		return "livelock"
 	case errors.As(err, new(*svmsim.ThreadPanicError)):
 		return "panic"
+	case errors.As(err, new(*JobTimeoutError)):
+		return "job_timeout"
 	default:
 		return "failed"
 	}

@@ -259,6 +259,7 @@ func TestErrKindTaxonomy(t *testing.T) {
 		{&svmsim.DeadlockError{NowCycles: 9}, "deadlock", true},
 		{&svmsim.LivelockError{NowCycles: 9, Events: 10}, "livelock", true},
 		{&svmsim.ThreadPanicError{Thread: "p0", Value: "boom"}, "panic", false},
+		{&JobTimeoutError{Key: "k", Attempt: 2}, "job_timeout", false},
 		{errors.New("setup exploded"), "failed", false},
 	}
 	for _, c := range cases {

@@ -78,6 +78,16 @@ func (s *Suite) spillCell(key string, run *svmsim.RunStats, runErr error) {
 		os.Remove(tmp)
 		return
 	}
+	// fsync before the rename: without it a host crash can commit the
+	// rename but not the data, persisting an empty or torn entry that the
+	// loader's corruption tolerance would silently re-simulate — or worse,
+	// that a restarted daemon would serve as a miss forever while the file
+	// squats on the final path. Durability first, then atomic visibility.
+	if f.Sync() != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
 	if f.Close() != nil {
 		os.Remove(tmp)
 		return

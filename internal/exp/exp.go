@@ -299,6 +299,11 @@ func deterministicErr(err error) bool {
 		// causes include environmental limits (stack, memory); spend the
 		// retry budget rather than cache a possibly transient failure.
 		return false
+	case errors.As(err, new(*JobTimeoutError)):
+		// A wall-clock deadline is pure host weather (load, scheduling,
+		// disk): the same cell may finish comfortably on the next attempt,
+		// so the serving layer's bounded retry applies.
+		return false
 	}
 	return false
 }

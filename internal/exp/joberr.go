@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobTimeoutError reports a serving-layer job whose attempt exceeded the
+// daemon's wall-clock deadline (svmsimd's worker watchdog). It is a harness
+// failure, not a simulation outcome: the simulated run itself has no notion
+// of wall time, so the error carries the job's content key and the attempt
+// count rather than any simulated state. It lives in exp — next to ErrKind
+// and deterministicErr — because the svmlint errkind analyzer holds both
+// classifier switches exhaustive over every exported *Error type in the
+// program, and internal/server (which raises it) sits above exp in the
+// import graph.
+type JobTimeoutError struct {
+	// Key is the content address of the timed-out work.
+	Key string
+	// Attempt is the 1-based attempt that tripped the deadline.
+	Attempt int
+	// Deadline is the per-attempt wall-clock budget that was exceeded.
+	Deadline time.Duration
+}
+
+func (e *JobTimeoutError) Error() string {
+	return fmt.Sprintf("job attempt %d exceeded the %v deadline (key %s)", e.Attempt, e.Deadline, e.Key)
+}

@@ -1,37 +1,44 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"svmsim/internal/exp"
+	"svmsim/internal/walltime"
 )
 
 // Job lifecycle states.
 const (
-	statusQueued  = "queued"
-	statusRunning = "running"
-	statusDone    = "done"
-	statusFailed  = "failed"
+	statusQueued      = "queued"
+	statusRunning     = "running"
+	statusDone        = "done"
+	statusFailed      = "failed"
+	statusQuarantined = "quarantined"
 )
 
 // job is one accepted unit of work: a cell or a sweep. Once accepted a job
-// is never dropped — it either runs to completion on the worker pool or is
-// drained to completion at shutdown; admission control (429) happens before
-// a job exists.
+// is never dropped — its accept record is fsynced to the journal before the
+// client sees 202, it either runs to completion on the worker pool (with
+// watchdog-bounded attempts) or is drained to completion at shutdown, and a
+// daemon crash re-enqueues it from the journal on restart. Admission
+// control (429) happens before a job exists.
 type job struct {
 	id   string
 	kind string // "cell" or "sweep"
 	key  string // content address of the underlying work
 
-	cell  exp.Cell      // kind == "cell"
-	sweep exp.SweepSpec // kind == "sweep"
+	cell  exp.Cell        // kind == "cell"
+	sweep exp.SweepSpec   // kind == "sweep"
+	spec  json.RawMessage // wire spec as submitted, journaled for replay
 
 	// Guarded by the server mutex.
-	status  string
-	cached  bool   // served from the result store, zero simulations
-	errKind string // structured error classification when failed
-	errMsg  string
-	result  []byte // canonical result document (also set for failed cells)
+	status   string
+	attempts int    // watchdog attempts consumed (journal-restored on replay)
+	cached   bool   // served from the result store, zero simulations
+	errKind  string // structured error classification when failed
+	errMsg   string
+	result   []byte // canonical result document (also set for failed cells)
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -45,6 +52,13 @@ type stored struct {
 	errMsg  string
 }
 
+// outcome is one finished execution attempt.
+type outcome struct {
+	data    []byte
+	errKind string
+	errMsg  string
+}
+
 // workers run jobs from the queue until it is closed (drain).
 func (s *Server) worker() {
 	defer s.workers.Done()
@@ -53,14 +67,72 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job and publishes its terminal state and result
-// bytes. A failed cell still produces a result document (the structured
-// CellResult carrying err_kind/err), exactly as the disk cache stores it.
+// runJob supervises one job: each attempt executes on its own goroutine
+// while the worker waits on either the outcome or the wall-clock deadline
+// (via the walltime boundary — the simulation itself never sees host time).
+// A deadline trip marks the attempt failed with a typed *exp.JobTimeoutError
+// and retries with exponential backoff, bounded by maxAttempts; a job that
+// exhausts its budget is quarantined instead of crash-looping. The abandoned
+// attempt's goroutine is not cancellable (the simulator has no preemption
+// points) — it keeps running, its eventual result lands harmlessly in the
+// suite cache, and a later attempt for the same key joins it through the
+// suite's singleflight rather than simulating twice.
 func (s *Server) runJob(j *job) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	s.setRunning(j)
+	for {
+		attempt := s.startAttempt(j)
 
+		resc := make(chan outcome, 1)
+		go func() { resc <- s.execute(j) }()
+
+		var deadline *walltime.Timer
+		if s.jobDeadline > 0 {
+			deadline = walltime.NewTimer(s.jobDeadline)
+		}
+		if deadline == nil {
+			s.finishJob(j, <-resc)
+			return
+		}
+		select {
+		case out := <-resc:
+			deadline.Stop()
+			s.finishJob(j, out)
+			return
+		case <-deadline.C():
+			s.metrics.timedOut()
+			terr := &exp.JobTimeoutError{Key: j.key, Attempt: attempt, Deadline: s.jobDeadline}
+			if attempt >= s.maxAttempts {
+				s.quarantineJob(j, terr)
+				return
+			}
+			s.metrics.retried()
+			s.appendJournal(journalRecord{Op: opRetry, ID: j.id, Attempt: attempt})
+			// Exponential backoff between attempts: base, 2x, 4x, ... The
+			// shift is bounded by maxAttempts, itself a small flag value.
+			walltime.Sleep(s.retryBack << (attempt - 1))
+		}
+	}
+}
+
+// startAttempt transitions a job to running, burns one attempt, and
+// journals the start (so a crash mid-attempt cannot reset the budget).
+func (s *Server) startAttempt(j *job) int {
+	s.mu.Lock()
+	j.status = statusRunning
+	j.attempts++
+	attempt := j.attempts
+	s.journal.append(journalRecord{Op: opStart, ID: j.id, Attempt: attempt})
+	s.mu.Unlock()
+	return attempt
+}
+
+// execute runs one attempt to its outcome. It mutates no job state — the
+// supervisor in runJob owns all transitions — so an attempt abandoned by the
+// watchdog can finish late without clobbering anything. A failed cell still
+// produces a result document (the structured CellResult carrying
+// err_kind/err), exactly as the disk cache stores it.
+func (s *Server) execute(j *job) outcome {
 	var data []byte
 	var errKind, errMsg string
 	var encErr error
@@ -85,37 +157,114 @@ func (s *Server) runJob(j *job) {
 		errKind, errMsg = "failed", "encoding result: "+encErr.Error()
 		data = nil
 	}
-	s.finishJob(j, data, errKind, errMsg)
-}
-
-// setRunning marks a job as executing.
-func (s *Server) setRunning(j *job) {
-	s.mu.Lock()
-	j.status = statusRunning
-	s.mu.Unlock()
+	return outcome{data: data, errKind: errKind, errMsg: errMsg}
 }
 
 // finishJob publishes a terminal state, stores the result under its content
-// key, and updates the metrics.
-func (s *Server) finishJob(j *job, data []byte, errKind, errMsg string) {
+// key, journals the completion, and updates the metrics.
+func (s *Server) finishJob(j *job, out outcome) {
 	s.mu.Lock()
-	j.result = data
-	j.errKind, j.errMsg = errKind, errMsg
-	if errMsg != "" {
+	j.result = out.data
+	j.errKind, j.errMsg = out.errKind, out.errMsg
+	if out.errMsg != "" {
 		j.status = statusFailed
 	} else {
 		j.status = statusDone
 	}
-	if data != nil {
-		s.store[j.key] = stored{result: data, errKind: errKind, errMsg: errMsg}
+	if out.data != nil {
+		s.store[j.key] = stored{result: out.data, errKind: out.errKind, errMsg: out.errMsg}
 	}
+	s.releaseKeyLocked(j)
+	// A finish record that fails to persist only costs a warm re-run after
+	// a crash (at-least-once semantics); the durability contract is on
+	// accepts, so the error is deliberately not propagated.
+	s.appendJournalLocked(journalRecord{Op: opFinish, ID: j.id, Attempt: j.attempts, ErrKind: out.errKind, Err: out.errMsg})
 	s.mu.Unlock()
-	s.metrics.finished(errMsg != "")
+	s.metrics.finished(out.errMsg != "")
 	close(j.done)
 }
 
+// quarantineJob parks a poison job in the terminal quarantined state: it
+// stays addressable (clients get its structured timeout error), survives
+// restarts through the journal, and is never re-enqueued.
+func (s *Server) quarantineJob(j *job, err error) {
+	s.mu.Lock()
+	j.status = statusQuarantined
+	j.errKind, j.errMsg = exp.ErrKind(err), err.Error()
+	s.releaseKeyLocked(j)
+	s.appendJournalLocked(journalRecord{Op: opQuarantine, ID: j.id, Attempt: j.attempts, ErrKind: j.errKind, Err: j.errMsg})
+	s.mu.Unlock()
+	s.metrics.quarantined()
+	close(j.done)
+}
+
+// releaseKeyLocked retires a job's claim on the active-key index (the
+// idempotent-resubmission map). The caller holds s.mu.
+func (s *Server) releaseKeyLocked(j *job) {
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+}
+
+// appendJournalLocked journals a non-accept transition and compacts the
+// file once dead records dominate. The caller holds s.mu, which serializes
+// every journal mutation — so the compaction snapshot cannot miss a
+// concurrent append.
+func (s *Server) appendJournalLocked(rec journalRecord) {
+	s.journal.append(rec)
+	if s.journal.shouldCompact(s.liveJournalLocked()) {
+		s.journal.rewrite(s.journalSnapshotLocked())
+	}
+}
+
+// appendJournal is appendJournalLocked for callers not holding s.mu.
+func (s *Server) appendJournal(rec journalRecord) {
+	s.mu.Lock()
+	s.appendJournalLocked(rec)
+	s.mu.Unlock()
+}
+
+// liveJournalLocked counts the jobs a compaction must keep.
+func (s *Server) liveJournalLocked() int {
+	n := 0
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			switch j.status {
+			case statusQueued, statusRunning, statusQuarantined:
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// journalSnapshotLocked rebuilds the minimal journal for the current job
+// index: accepts for queued/running jobs, accept+quarantine for quarantined
+// ones. Finished jobs are dropped — their per-cell results persist in the
+// suite's disk cache. The caller holds s.mu; s.order keeps the output
+// deterministic.
+func (s *Server) journalSnapshotLocked() []journalRecord {
+	var recs []journalRecord
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		switch j.status {
+		case statusQueued, statusRunning:
+			recs = append(recs, journalRecord{Op: opAccept, ID: j.id, Kind: j.kind, Key: j.key, Spec: j.spec, Attempt: j.attempts})
+		case statusQuarantined:
+			recs = append(recs,
+				journalRecord{Op: opAccept, ID: j.id, Kind: j.kind, Key: j.key, Spec: j.spec, Attempt: j.attempts},
+				journalRecord{Op: opQuarantine, ID: j.id, Attempt: j.attempts, ErrKind: j.errKind, Err: j.errMsg})
+		}
+	}
+	return recs
+}
+
 // newJobLocked allocates a job record and registers it; the caller holds
-// s.mu. Job IDs are a process-local sequence — no clocks, no randomness.
+// s.mu. Job IDs are a process-local sequence — no clocks, no randomness —
+// continued across restarts from the journal's high-water mark.
 func (s *Server) newJobLocked(kind, key string) *job {
 	s.seq++
 	j := &job{
@@ -142,7 +291,7 @@ func (s *Server) evictLocked() {
 			if !ok {
 				continue
 			}
-			if j.status == statusDone || j.status == statusFailed {
+			if j.status == statusDone || j.status == statusFailed || j.status == statusQuarantined {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true

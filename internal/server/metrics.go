@@ -24,6 +24,12 @@ type metrics struct {
 	jobsRejected uint64 // 429s: queue full
 	jobsRefused  uint64 // 503s: draining
 
+	jobsDeduped     uint64 // resubmissions coalesced onto an active job
+	jobsReplayed    uint64 // jobs re-enqueued from the journal at startup
+	jobTimeouts     uint64 // attempts cut short by the watchdog deadline
+	jobRetries      uint64 // timed-out attempts given another try
+	jobsQuarantined uint64 // jobs parked after exhausting their attempts
+
 	cacheHits   map[string]uint64 // by layer: store, memo, flight, disk
 	cacheMisses uint64
 	cellsSim    uint64
@@ -76,6 +82,36 @@ func (m *metrics) refused() {
 func (m *metrics) storeHit() {
 	m.mu.Lock()
 	m.cacheHits["store"]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) deduped() {
+	m.mu.Lock()
+	m.jobsDeduped++
+	m.mu.Unlock()
+}
+
+func (m *metrics) replayed(n int) {
+	m.mu.Lock()
+	m.jobsReplayed += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) timedOut() {
+	m.mu.Lock()
+	m.jobTimeouts++
+	m.mu.Unlock()
+}
+
+func (m *metrics) retried() {
+	m.mu.Lock()
+	m.jobRetries++
+	m.mu.Unlock()
+}
+
+func (m *metrics) quarantined() {
+	m.mu.Lock()
+	m.jobsQuarantined++
 	m.mu.Unlock()
 }
 
@@ -133,6 +169,11 @@ func (m *metrics) render(w io.Writer) {
 	counter("svmsimd_jobs_failed_total", "Jobs finished with a simulation error.", m.jobsFailed)
 	counter("svmsimd_jobs_rejected_total", "Submissions rejected with 429 because the queue was full.", m.jobsRejected)
 	counter("svmsimd_jobs_refused_total", "Submissions refused with 503 during drain.", m.jobsRefused)
+	counter("svmsimd_jobs_deduped_total", "Resubmissions coalesced onto an already-active job with the same content key.", m.jobsDeduped)
+	counter("svmsimd_jobs_replayed_total", "Incomplete jobs re-enqueued from the journal at startup.", m.jobsReplayed)
+	counter("svmsimd_job_timeouts_total", "Execution attempts cut short by the watchdog deadline.", m.jobTimeouts)
+	counter("svmsimd_job_retries_total", "Timed-out attempts retried with backoff.", m.jobRetries)
+	counter("svmsimd_jobs_quarantined_total", "Jobs quarantined after exhausting their attempt budget.", m.jobsQuarantined)
 	labeled("svmsimd_cache_hits_total", "Cells served without a fresh simulation, by cache layer.", "layer", m.cacheHits)
 	counter("svmsimd_cache_misses_total", "Cells that required a fresh simulation.", m.cacheMisses)
 	counter("svmsimd_cells_simulated_total", "Fresh simulations executed.", m.cellsSim)

@@ -7,10 +7,18 @@
 // unboundedly, and a draining server refuses new work with 503 while running
 // every job it already accepted to completion.
 //
-// The package deliberately has no clocks: simulation latency is measured
+// The daemon is crash-safe: with a journal directory configured, every
+// accepted job is fsynced to a write-ahead log (journal.go) before the
+// client sees 202, a restart replays the journal and re-enqueues incomplete
+// work (warm from the suite's disk cache), and submissions are idempotent by
+// content key — a client retrying after a crash coalesces onto the replayed
+// job instead of simulating twice. A worker watchdog bounds each attempt's
+// wall time, retries with exponential backoff, and quarantines poison jobs.
+//
+// Simulated behavior still sees no clocks: simulation latency is measured
 // inside internal/exp (via internal/walltime) and arrives through the
-// Suite.Observe hook; request deadlines belong to the caller's context
-// (cmd/svmsimd wraps handlers in http.TimeoutHandler).
+// Suite.Observe hook; the watchdog's deadline and backoff likewise go
+// through walltime and only ever bound how long the harness waits.
 package server
 
 import (
@@ -23,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"svmsim"
 	"svmsim/internal/exp"
@@ -34,7 +43,9 @@ type Config struct {
 	// its Observe hook at construction time.
 	Suite *exp.Suite
 	// QueueDepth bounds the admission queue (default 64). Submissions
-	// beyond it are rejected with 429 + Retry-After.
+	// beyond it are rejected with 429 + Retry-After. Journal replay is
+	// exempt: re-enqueued jobs ride above the bound, because they were
+	// already accepted in a previous life.
 	QueueDepth int
 	// Workers sizes the job worker pool (default 2). Each worker runs one
 	// job at a time; cell parallelism inside a sweep is the Suite's.
@@ -46,33 +57,53 @@ type Config struct {
 	// jobs are evicted first, their results remaining addressable through
 	// the content store.
 	MaxJobs int
+	// JournalDir, when non-empty, enables the durable job journal: accepts
+	// are fsynced before the ack and incomplete jobs are replayed on the
+	// next start. Empty keeps the pre-journal in-memory behavior.
+	JournalDir string
+	// JobDeadline bounds one execution attempt's wall-clock time; zero
+	// disables the watchdog. Expired attempts fail with a typed
+	// *exp.JobTimeoutError and are retried with exponential backoff.
+	JobDeadline time.Duration
+	// MaxAttempts bounds the watchdog's attempts per job (default 3);
+	// a job that times out that many times is quarantined, not re-run.
+	MaxAttempts int
+	// RetryBackoff is the base delay before a timed-out job's second
+	// attempt (default 500ms), doubling per further attempt.
+	RetryBackoff time.Duration
 }
 
 // Server is the svmsimd daemon core: routing, job queue, worker pool,
-// content-addressed result store and metrics registry. Create with New,
-// serve via Handler, stop via Drain.
+// durable journal, content-addressed result store and metrics registry.
+// Create with New, serve via Handler, stop via Drain.
 type Server struct {
 	suite   *exp.Suite
 	queue   chan *job
 	metrics *metrics
 	mux     *http.ServeMux
+	journal *journal
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // job IDs in creation order, for eviction
+	order    []string        // job IDs in creation order, for eviction
+	byKey    map[string]*job // active (queued/running) jobs by content key
 	store    map[string]stored
 	seq      uint64
+	ready    bool // false during journal replay, true once serving
 	draining bool
 
-	workers  sync.WaitGroup
-	inflight atomic.Int64
-	maxJobs  int
-	retry    string // Retry-After value for 429s
+	workers     sync.WaitGroup
+	inflight    atomic.Int64
+	maxJobs     int
+	maxAttempts int
+	jobDeadline time.Duration
+	retryBack   time.Duration
+	retry       string // Retry-After value for 429s
 }
 
-// New builds a Server over cfg.Suite and starts its worker pool. The suite's
-// Observe hook is chained, not replaced, so callers keep their own
-// observability.
+// New builds a Server over cfg.Suite, replays the journal if one is
+// configured, and starts the worker pool. The suite's Observe hook is
+// chained, not replaced, so callers keep their own observability.
 func New(cfg Config) (*Server, error) {
 	if cfg.Suite == nil {
 		return nil, fmt.Errorf("server: Config.Suite is required")
@@ -89,15 +120,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 500 * time.Millisecond
+	}
 	s := &Server{
-		suite:   cfg.Suite,
-		queue:   make(chan *job, cfg.QueueDepth),
-		jobs:    make(map[string]*job),
-		store:   make(map[string]stored),
-		maxJobs: cfg.MaxJobs,
-		retry:   strconv.Itoa(cfg.RetryAfterSeconds),
+		suite:       cfg.Suite,
+		jobs:        make(map[string]*job),
+		byKey:       make(map[string]*job),
+		store:       make(map[string]stored),
+		maxJobs:     cfg.MaxJobs,
+		maxAttempts: cfg.MaxAttempts,
+		jobDeadline: cfg.JobDeadline,
+		retryBack:   cfg.RetryBackoff,
+		retry:       strconv.Itoa(cfg.RetryAfterSeconds),
 	}
 	s.metrics = newMetrics(func() int { return len(s.queue) }, s.inflightCount)
+
+	var pending []*job
+	if cfg.JournalDir != "" {
+		jn, replayed, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jn
+		pending = s.registerReplayed(replayed)
+	}
+	// The queue admits QueueDepth new jobs on top of everything replayed:
+	// a restart must never 429 work it already accepted.
+	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
+	for _, j := range pending {
+		s.queue <- j
+	}
+	s.metrics.replayed(len(pending))
 
 	prev := cfg.Suite.Observe
 	cfg.Suite.Observe = func(ev exp.CellEvent) {
@@ -114,21 +171,113 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux = mux
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
 	return s, nil
+}
+
+// registerReplayed rebuilds the job index from the journal's replay set:
+// quarantined jobs come back terminal with their structured verdict, and
+// incomplete jobs are re-resolved against the current suite and returned
+// for re-enqueueing (in journal order, ahead of any new admission). A spec
+// that no longer resolves — the daemon restarted with a different suite, or
+// the journal predates a schema change — terminates the job with a
+// structured error instead of silently dropping it.
+func (s *Server) registerReplayed(replayed []replayedJob) []*job {
+	var pending []*job
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range replayed {
+		if n := jobNum(r.ID); n > s.seq {
+			s.seq = n
+		}
+		j := &job{
+			id:       r.ID,
+			kind:     r.Kind,
+			key:      r.Key,
+			spec:     r.Spec,
+			attempts: r.Attempts,
+			status:   statusQueued,
+			done:     make(chan struct{}),
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if r.Quarantined {
+			j.status = statusQuarantined
+			j.errKind, j.errMsg = r.ErrKind, r.ErrMsg
+			close(j.done)
+			continue
+		}
+		if err := s.resolveReplayed(j); err != nil {
+			j.status = statusFailed
+			j.errKind, j.errMsg = "failed", "replaying journaled job: "+err.Error()
+			s.journal.append(journalRecord{Op: opFinish, ID: j.id, ErrKind: j.errKind, Err: j.errMsg})
+			close(j.done)
+			continue
+		}
+		s.byKey[j.key] = j
+		pending = append(pending, j)
+	}
+	return pending
+}
+
+// resolveReplayed re-resolves a replayed job's wire spec into runnable work.
+// The key is recomputed from the current suite (not trusted from the
+// journal) so a daemon restarted with different baseline flags addresses
+// the cell it will actually run.
+func (s *Server) resolveReplayed(j *job) error {
+	switch j.kind {
+	case "cell":
+		var spec exp.CellSpec
+		if err := strictUnmarshal(j.spec, &spec); err != nil {
+			return err
+		}
+		cell, err := s.suite.ResolveCell(spec)
+		if err != nil {
+			return err
+		}
+		j.cell, j.key = cell, cell.Key()
+	case "sweep":
+		var spec exp.SweepSpec
+		if err := strictUnmarshal(j.spec, &spec); err != nil {
+			return err
+		}
+		wls, aurc, err := s.suite.ResolveSweep(spec)
+		if err != nil {
+			return err
+		}
+		j.sweep, j.key = spec, sweepKey(spec.Param, aurc, wls)
+	default:
+		return fmt.Errorf("unknown job kind %q", j.kind)
+	}
+	return nil
+}
+
+// strictUnmarshal decodes a journaled spec with the same strictness as the
+// HTTP path (unknown fields are errors, not guesses).
+func strictUnmarshal(data []byte, v any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("no spec journaled")
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 // Handler exposes the daemon's routes.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops admission and runs every accepted job to completion, or until
-// ctx expires. It is idempotent; after the first call every submission is
-// refused with 503.
+// ctx expires. It is idempotent; the readiness probe goes false and every
+// submission is refused with 503 from the moment it is called.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
@@ -145,6 +294,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.mu.Lock()
+		s.journal.close()
+		s.mu.Unlock()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain cut short with %d job(s) in flight", s.inflightCount())
@@ -154,18 +306,19 @@ func (s *Server) Drain(ctx context.Context) error {
 // jobView is the wire form of a job descriptor: compact single-line JSON so
 // shell clients can capture `.id` without a JSON tool chain.
 type jobView struct {
-	ID      string `json:"id"`
-	Kind    string `json:"kind"`
-	Key     string `json:"key"`
-	Status  string `json:"status"`
-	Cached  bool   `json:"cached,omitempty"`
-	ErrKind string `json:"err_kind,omitempty"`
-	Err     string `json:"err,omitempty"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Key      string `json:"key"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	ErrKind  string `json:"err_kind,omitempty"`
+	Err      string `json:"err,omitempty"`
 }
 
 func viewLocked(j *job) jobView {
 	return jobView{ID: j.id, Kind: j.kind, Key: j.key, Status: j.status,
-		Cached: j.cached, ErrKind: j.errKind, Err: j.errMsg}
+		Attempts: j.attempts, Cached: j.cached, ErrKind: j.errKind, Err: j.errMsg}
 }
 
 // handleSubmitCell admits one cell: POST /v1/cells with a CellSpec body.
@@ -179,7 +332,12 @@ func (s *Server) handleSubmitCell(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	s.submit(w, &job{kind: "cell", key: cell.Key(), cell: cell})
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "failed", err.Error())
+		return
+	}
+	s.submit(w, &job{kind: "cell", key: cell.Key(), cell: cell, spec: raw})
 }
 
 // handleSubmitSweep admits one sweep: POST /v1/sweeps with a SweepSpec body.
@@ -193,7 +351,12 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	s.submit(w, &job{kind: "sweep", key: sweepKey(spec.Param, aurc, wls), sweep: spec})
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "failed", err.Error())
+		return
+	}
+	s.submit(w, &job{kind: "sweep", key: sweepKey(spec.Param, aurc, wls), sweep: spec, spec: raw})
 }
 
 // sweepKey content-addresses a sweep by its resolved (not as-written)
@@ -211,15 +374,26 @@ func sweepKey(param string, aurc bool, wls []svmsim.Workload) string {
 	return "sweep|param=" + param + "|mode=" + mode + "|apps=" + strings.Join(names, ",")
 }
 
-// submit runs admission control for a prepared job: store hit bypasses the
-// queue entirely, a full queue is 429, a draining server is 503. Accepted
-// jobs are never dropped.
+// submit runs admission control for a prepared job. In order: a draining
+// server is 503; an active job with the same content key absorbs the
+// submission (idempotent resubmission — same job id, zero new work); a
+// store hit bypasses the queue entirely; a full queue is 429. Otherwise the
+// job's accept record is fsynced to the journal *before* the 202 leaves, so
+// acceptance is a durable promise: accepted jobs are never dropped, not
+// even by SIGKILL.
 func (s *Server) submit(w http.ResponseWriter, proto *job) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.refused()
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting new work")
+		return
+	}
+	if active, ok := s.byKey[proto.key]; ok {
+		view := viewLocked(active)
+		s.mu.Unlock()
+		s.metrics.deduped()
+		writeJSONLine(w, http.StatusOK, view)
 		return
 	}
 	if hit, ok := s.store[proto.key]; ok {
@@ -240,22 +414,33 @@ func (s *Server) submit(w http.ResponseWriter, proto *job) {
 		writeJSONLine(w, http.StatusOK, view)
 		return
 	}
-	j := s.newJobLocked(proto.kind, proto.key)
-	j.cell, j.sweep = proto.cell, proto.sweep
-	select {
-	case s.queue <- j:
-		view := viewLocked(j)
-		s.mu.Unlock()
-		s.metrics.accepted(proto.kind)
-		writeJSONLine(w, http.StatusAccepted, view)
-	default:
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
+	// Every queue send happens under s.mu (and workers only drain), so the
+	// explicit capacity check cannot race: reserving the slot here means
+	// the send below never blocks.
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.metrics.rejected()
 		w.Header().Set("Retry-After", s.retry)
 		writeError(w, http.StatusTooManyRequests, "queue_full", "admission queue is full; retry later")
+		return
 	}
+	j := s.newJobLocked(proto.kind, proto.key)
+	j.cell, j.sweep, j.spec = proto.cell, proto.sweep, proto.spec
+	if err := s.journal.append(journalRecord{Op: opAccept, ID: j.id, Kind: j.kind, Key: j.key, Spec: j.spec}); err != nil {
+		// No durable accept, no acceptance: unregister and report, rather
+		// than hand out a 202 the journal cannot honor after a crash.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "journal_error", err.Error())
+		return
+	}
+	s.byKey[j.key] = j
+	s.queue <- j
+	view := viewLocked(j)
+	s.mu.Unlock()
+	s.metrics.accepted(proto.kind)
+	writeJSONLine(w, http.StatusAccepted, view)
 }
 
 // handleJobStatus reports one job: GET /v1/jobs/{id}.
@@ -277,7 +462,8 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // handleJobResult serves a finished job's canonical result document:
 // GET /v1/jobs/{id}/result. ?wait=1 blocks until the job finishes or the
 // request context expires. A failed job yields a structured error body
-// carrying the typed failure kind (stall, lost_page, link_failure, failed).
+// carrying the typed failure kind (stall, lost_page, link_failure,
+// job_timeout, failed).
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
@@ -300,7 +486,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	switch status {
 	case statusQueued, statusRunning:
 		writeError(w, http.StatusConflict, "pending", "job has not finished; poll again or use ?wait=1")
-	case statusFailed:
+	case statusFailed, statusQuarantined:
 		writeError(w, http.StatusInternalServerError, kind, msg)
 	default:
 		w.Header().Set("Content-Type", "application/json")
@@ -315,16 +501,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.render(w)
 }
 
-// handleHealthz reports liveness and drain state: GET /healthz.
+// handleHealthz is pure liveness: the process is up and serving HTTP. It
+// stays 200 through replay and drain — restarting a draining daemon would
+// only lose work. Readiness (should traffic be routed here?) is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSONLine(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 only when the daemon is accepting work.
+// It is false (503) while the journal replays at startup and from the
+// moment Drain is called — load balancers stop routing before the 503s on
+// the submission endpoints would surface to clients.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
+	ready, draining := s.ready, s.draining
 	s.mu.Unlock()
-	status := "ok"
-	if draining {
-		status = "draining"
+	switch {
+	case draining:
+		writeJSONLine(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !ready:
+		writeJSONLine(w, http.StatusServiceUnavailable, map[string]string{"status": "replaying"})
+	default:
+		writeJSONLine(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
-	writeJSONLine(w, http.StatusOK, map[string]string{"status": status})
 }
 
 // decodeSpec strictly parses a JSON request body (unknown fields are 400s —

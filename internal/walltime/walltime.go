@@ -32,3 +32,32 @@ func (s Stopwatch) Elapsed() time.Duration {
 func (s Stopwatch) Seconds() float64 {
 	return s.Elapsed().Seconds()
 }
+
+// Timer is a host-clock deadline for harness supervision (the svmsimd job
+// watchdog): it fires once after the configured wall-time duration. Like
+// Stopwatch it must never feed simulated behavior — a Timer bounds how long
+// the harness waits for a simulation, not what the simulation computes.
+type Timer struct {
+	t *time.Timer
+}
+
+// NewTimer starts a timer that fires on C after d.
+func NewTimer(d time.Duration) *Timer {
+	return &Timer{t: time.NewTimer(d)}
+}
+
+// C is the firing channel; it receives exactly once unless Stop wins.
+func (t *Timer) C() <-chan time.Time {
+	return t.t.C
+}
+
+// Stop cancels the timer; it reports whether the stop preempted the firing.
+func (t *Timer) Stop() bool {
+	return t.t.Stop()
+}
+
+// Sleep pauses the calling goroutine for d of host wall time (harness
+// backoff pacing, e.g. between supervised job attempts).
+func Sleep(d time.Duration) {
+	time.Sleep(d)
+}
