@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-baseline lint-report build test race chaos serve-smoke chaos-serve bench bench-engine bench-smoke bench-snapshot experiments faults
+.PHONY: check vet lint lint-baseline lint-report build test race chaos serve-smoke chaos-serve fleet-smoke bench bench-engine bench-smoke bench-snapshot experiments faults
 
-check: vet lint build test race chaos serve-smoke chaos-serve
+check: vet lint build test race chaos serve-smoke chaos-serve fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,10 +40,11 @@ test:
 
 # The race set covers the packages with real concurrency (the parallel
 # experiment Runner, the engine, the serving daemon's worker pool and
-# watchdog) plus the fault-recovery machinery whose livelock regressions must
-# fail fast instead of hanging.
+# watchdog, the fleet coordinator's dispatch/heartbeat machinery) plus the
+# fault-recovery machinery whose livelock regressions must fail fast instead
+# of hanging.
 race:
-	$(GO) test -race -timeout 10m ./internal/exp/... ./internal/engine/... ./internal/network/... ./internal/proto/... ./internal/server/...
+	$(GO) test -race -timeout 10m ./internal/exp/... ./internal/engine/... ./internal/network/... ./internal/proto/... ./internal/server/... ./internal/fleet/...
 
 # Crash-stop smoke: the node-crash sweep on a small topology under the race
 # detector — heartbeat detection, recovery and degraded-mode completion end
@@ -63,6 +64,13 @@ serve-smoke:
 # end; set CHAOS_ARTIFACT_DIR to preserve the journal and logs on failure.
 chaos-serve:
 	sh scripts/chaos_serve.sh
+
+# Fleet crash safety: coordinator + two joined workers, SIGKILL one worker
+# mid-sweep, require a byte-identical sweep with exactly one counted death,
+# the dead worker's cells re-dispatched and zero local fallbacks. Seconds end
+# to end; CHAOS_ARTIFACT_DIR preserves logs on failure, as for chaos-serve.
+fleet-smoke:
+	sh scripts/chaos_serve.sh fleet
 
 # Single-run and suite-level throughput benchmarks (before/after numbers for
 # EXPERIMENTS.md).

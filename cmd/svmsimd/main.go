@@ -23,6 +23,18 @@
 // -cache-dir disk cache) and resubmissions of in-flight work coalesce onto
 // the surviving job id. -job-deadline arms a per-attempt watchdog that
 // retries stuck jobs with backoff and quarantines them after -max-attempts.
+// A journal directory is exclusive: a second daemon pointed at the same
+// -journal-dir fails fast instead of interleaving records.
+//
+// Fleet modes (see internal/fleet and README "Fleet serving"):
+//
+//	svmsimd -coordinator            front a fleet: same API, plus
+//	                                POST/DELETE /v1/workers{,/{id}/heartbeat}
+//	                                and GET /v1/workers; cells dispatch to
+//	                                joined workers by content-key affinity
+//	svmsimd -join http://coord:7117 serve as a worker: register with the
+//	                                coordinator, heartbeat, re-join after
+//	                                coordinator restarts
 package main
 
 import (
@@ -39,6 +51,7 @@ import (
 	"time"
 
 	"svmsim/internal/exp"
+	"svmsim/internal/fleet"
 	"svmsim/internal/server"
 )
 
@@ -62,6 +75,17 @@ type options struct {
 	drainTO    time.Duration
 	pprofAddr  string
 	verbose    bool
+
+	coordinator bool
+	join        string
+	advertise   string
+	hbInterval  time.Duration
+	suspectTO   time.Duration
+	maxDisp     int
+	workerWait  time.Duration
+	noFallback  bool
+	hedgeFactor float64
+	hedgeMin    time.Duration
 }
 
 func main() {
@@ -83,6 +107,16 @@ func main() {
 	flag.DurationVar(&o.drainTO, "drain-timeout", 10*time.Minute, "how long shutdown waits for accepted jobs before giving up")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 	flag.BoolVar(&o.verbose, "v", false, "progress output")
+	flag.BoolVar(&o.coordinator, "coordinator", false, "front a worker fleet: dispatch cells to joined svmsimd workers instead of simulating locally")
+	flag.StringVar(&o.join, "join", "", "join the fleet fronted by the coordinator at this base URL and serve as its worker")
+	flag.StringVar(&o.advertise, "advertise", "", "base URL this worker advertises to the coordinator (default: the resolved listen address)")
+	flag.DurationVar(&o.hbInterval, "hb-interval", time.Second, "coordinator: heartbeat interval expected from workers")
+	flag.DurationVar(&o.suspectTO, "suspect-timeout", 0, "coordinator: silence before a worker is declared dead (0 = 4 x hb-interval)")
+	flag.IntVar(&o.maxDisp, "max-dispatches", 4, "coordinator: placement attempts per cell before giving up")
+	flag.DurationVar(&o.workerWait, "worker-wait", 30*time.Second, "coordinator: how long a dispatch waits for the first alive worker")
+	flag.BoolVar(&o.noFallback, "no-local-fallback", false, "coordinator: fail unplaceable cells instead of simulating them locally")
+	flag.Float64Var(&o.hedgeFactor, "hedge-factor", 3, "coordinator: hedge stragglers after this multiple of observed p99 dispatch latency (negative disables)")
+	flag.DurationVar(&o.hedgeMin, "hedge-min", 250*time.Millisecond, "coordinator: floor on the hedge delay")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -114,7 +148,16 @@ func servePprof(addr string) error {
 	return nil
 }
 
+// drainable is the shutdown seam shared by a plain server and a fleet
+// coordinator.
+type drainable interface {
+	Drain(ctx context.Context) error
+}
+
 func run(o options) error {
+	if o.coordinator && o.join != "" {
+		return fmt.Errorf("svmsimd: -coordinator and -join are mutually exclusive (a coordinator does not nest under another)")
+	}
 	if o.pprofAddr != "" {
 		if err := servePprof(o.pprofAddr); err != nil {
 			return err
@@ -137,7 +180,7 @@ func run(o options) error {
 		suite.Verbose = os.Stderr
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Suite:             suite,
 		QueueDepth:        o.queue,
 		Workers:           o.workers,
@@ -146,9 +189,33 @@ func run(o options) error {
 		JobDeadline:       o.deadline,
 		MaxAttempts:       o.maxAtt,
 		RetryBackoff:      o.backoff,
-	})
-	if err != nil {
-		return err
+	}
+
+	var handler http.Handler
+	var drainer drainable
+	if o.coordinator {
+		coord, err := fleet.New(fleet.Config{
+			Suite:                suite,
+			Server:               scfg,
+			HeartbeatInterval:    o.hbInterval,
+			SuspectTimeout:       o.suspectTO,
+			MaxDispatches:        o.maxDisp,
+			WorkerWait:           o.workerWait,
+			DisableLocalFallback: o.noFallback,
+			HedgeFactor:          o.hedgeFactor,
+			HedgeMin:             o.hedgeMin,
+			Log:                  os.Stderr,
+		})
+		if err != nil {
+			return err
+		}
+		handler, drainer = coord.Handler(), coord
+	} else {
+		srv, err := server.New(scfg)
+		if err != nil {
+			return err
+		}
+		handler, drainer = srv.Handler(), srv
 	}
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -156,8 +223,33 @@ func run(o options) error {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           http.TimeoutHandler(srv.Handler(), o.reqTO, `{"error":{"kind":"timeout","message":"request timed out"}}`+"\n"),
+		Handler:           http.TimeoutHandler(handler, o.reqTO, `{"error":{"kind":"timeout","message":"request timed out"}}`+"\n"),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Worker mode: once we know the resolved listen address, start
+	// maintaining a registration with the coordinator in the background.
+	var membership *fleet.Membership
+	if o.join != "" {
+		selfURL := o.advertise
+		if selfURL == "" {
+			selfURL = "http://" + ln.Addr().String()
+		}
+		hostname, _ := os.Hostname()
+		info := fleet.WorkerInfo{
+			URL:      selfURL,
+			Capacity: o.workers,
+			CacheID:  fleet.CacheIdentity(hostname, o.cacheDir),
+		}
+		if o.cacheDir != "" {
+			// Snapshot the cache on every (re-)registration so a restarted
+			// coordinator learns which cells this disk already holds.
+			cacheDir := o.cacheDir
+			info.WarmKeys = func() []string { return exp.WarmKeys(cacheDir, 4096) }
+		}
+		membership = fleet.Join(&fleet.Client{}, strings.TrimRight(o.join, "/"), info, o.hbInterval, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "svmsimd: "+format+"\n", args...)
+		})
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -175,9 +267,14 @@ func run(o options) error {
 	stop() // a second signal kills immediately
 
 	fmt.Fprintln(os.Stderr, "svmsimd: draining")
+	if membership != nil {
+		// Deregister before draining so the coordinator re-routes new cells
+		// immediately instead of dispatching into our 503s.
+		membership.Leave()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTO)
 	defer cancel()
-	drainErr := srv.Drain(drainCtx)
+	drainErr := drainer.Drain(drainCtx)
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && drainErr == nil {

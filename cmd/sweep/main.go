@@ -10,22 +10,33 @@
 //	sweep -param interrupt -apps FFT -json        # schema-v1 document
 //	sweep -cell '{"workload":"FFT","procs":8}'    # one cell, schema-v1 document
 //	sweep -param interrupt -cpuprofile cpu.prof   # profile the run
+//	sweep -param interrupt -remote http://host:7117   # run on a daemon/fleet
 //
 // The -json and -cell outputs use the versioned wire schema of
 // internal/exp/codec.go — the same canonical bytes the svmsimd daemon
 // serves, so `sweep -json` and a daemon result for the same spec diff clean.
+//
+// With -remote the sweep is submitted to a running svmsimd (or a fleet
+// coordinator) instead of simulating locally; the client honors Retry-After
+// on 429 with capped exponential backoff, so a saturated daemon slows the
+// sweep down rather than failing it. Note the daemon's -size must match
+// this command's -size: problem size is a suite-level setting, not part of
+// the cell key.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"svmsim/internal/exp"
+	"svmsim/internal/fleet"
 )
 
 func main() { os.Exit(run()) }
@@ -44,6 +55,7 @@ func run() int {
 		cacheDir   = flag.String("cache-dir", "", "persist finished cells to this directory and reuse them across runs")
 		jsonOut    = flag.Bool("json", false, "emit the sweep as a schema-v1 JSON document instead of a rendered table")
 		cellSpec   = flag.String("cell", "", "run one cell from an inline JSON cell spec and emit its schema-v1 result document")
+		remote     = flag.String("remote", "", "submit to the svmsimd daemon or fleet coordinator at this base URL instead of simulating locally")
 		verbose    = flag.Bool("v", false, "progress output")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -76,6 +88,15 @@ func run() int {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+
+	if *remote != "" {
+		code, err := runRemote(strings.TrimRight(*remote, "/"), *cellSpec, *param, *appsFlag, *mode, *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return code
 	}
 
 	sizes := exp.Small
@@ -120,6 +141,14 @@ func run() int {
 		os.Stdout.Write(data)
 		return 0
 	}
+	fmt.Print(renderTable(res))
+	return 0
+}
+
+// renderTable converts a wire sweep result back into the human table the
+// local path prints — shared by local runs and -remote so both modes render
+// identically.
+func renderTable(res exp.SweepResult) string {
 	tbl := &exp.Table{ID: res.Table.ID, Title: res.Table.Title, Cols: res.Table.Cols}
 	for _, r := range res.Table.Rows {
 		row := exp.Row{Name: r.Name, Err: r.Err}
@@ -128,8 +157,109 @@ func run() int {
 		}
 		tbl.Rows = append(tbl.Rows, row)
 	}
-	fmt.Print(tbl.String())
-	return 0
+	return tbl.String()
+}
+
+// runRemote submits the sweep (or single cell) to a running daemon or fleet
+// coordinator and waits for the result, mirroring the local exit codes: 0 on
+// success, 1 with the structured document printed when the run failed.
+func runRemote(base, cellSpec, param, appsFlag, mode string, jsonOut bool) (int, error) {
+	client := &fleet.Client{}
+	ctx := context.Background()
+
+	if cellSpec != "" {
+		// Validate locally first so a typo is a parse error here, not a 400
+		// from the daemon.
+		dec := json.NewDecoder(strings.NewReader(cellSpec))
+		dec.DisallowUnknownFields()
+		var spec exp.CellSpec
+		if err := dec.Decode(&spec); err != nil {
+			return 1, fmt.Errorf("parsing -cell spec: %w", err)
+		}
+		status, data, err := submitAndWait(ctx, client, base+"/v1/cells", []byte(cellSpec))
+		if err != nil {
+			return 1, err
+		}
+		os.Stdout.Write(data)
+		if status != http.StatusOK {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	spec := struct {
+		Param string   `json:"param"`
+		Apps  []string `json:"apps,omitempty"`
+		Mode  string   `json:"mode,omitempty"`
+	}{Param: param, Mode: mode}
+	for _, n := range strings.Split(appsFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			spec.Apps = append(spec.Apps, n)
+		}
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 1, err
+	}
+	status, data, err := submitAndWait(ctx, client, base+"/v1/sweeps", body)
+	if err != nil {
+		return 1, err
+	}
+	if status != http.StatusOK {
+		os.Stdout.Write(data)
+		return 1, nil
+	}
+	if jsonOut {
+		os.Stdout.Write(data)
+		return 0, nil
+	}
+	res, err := exp.DecodeSweepResult(data)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Print(renderTable(res))
+	return 0, nil
+}
+
+// submitAndWait posts a spec, then long-polls the job result until it is
+// terminal. The retrying client absorbs 429s (honoring Retry-After), and
+// 409/503 poll responses mean "still running" — poll again.
+func submitAndWait(ctx context.Context, client *fleet.Client, url string, body []byte) (int, []byte, error) {
+	status, data, err := client.Do(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	switch status {
+	case http.StatusOK, http.StatusAccepted:
+	default:
+		return 0, nil, fmt.Errorf("daemon refused the submission: %d %s", status, strings.TrimSpace(string(data)))
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &view); err != nil || view.ID == "" {
+		return 0, nil, fmt.Errorf("unparseable submit response %q", strings.TrimSpace(string(data)))
+	}
+	resultURL := urlJoinJobs(url, view.ID)
+	for {
+		status, data, err = client.Do(ctx, http.MethodGet, resultURL, nil)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch status {
+		case http.StatusConflict, http.StatusServiceUnavailable:
+			continue // long-poll window expired while the job still runs
+		default:
+			return status, data, nil
+		}
+	}
+}
+
+// urlJoinJobs rewrites a submission URL (.../v1/cells or .../v1/sweeps) into
+// the result URL for a job ID on the same daemon.
+func urlJoinJobs(submitURL, id string) string {
+	base := submitURL[:strings.LastIndex(submitURL, "/v1/")]
+	return base + "/v1/jobs/" + id + "/result?wait=1"
 }
 
 // runCell executes one cell from an inline JSON spec and prints the

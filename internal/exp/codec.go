@@ -140,6 +140,68 @@ func (s *Suite) ResolveCell(spec CellSpec) (Cell, error) {
 	return Cell{Cfg: cfg, W: w}, nil
 }
 
+// SpecFromCell inverts ResolveCell: it maps a runnable cell back to the
+// wire spec that reproduces it on any worker whose workload registry
+// matches. Every field is emitted explicitly — topology and all four
+// communication parameters included — so the spec resolves to the same
+// content key regardless of the remote suite's own baseline flags; the
+// round trip (a worker's ResolveCell of this spec preserving c.Key()) is
+// test-enforced. Cells whose configuration exceeds the wire schema (fault
+// plans, reliable transport, watchdog bounds, crash schedules or failure
+// detectors) report false: the fleet leaves those to the local simulator.
+func SpecFromCell(c Cell) (CellSpec, bool) {
+	cfg := c.Cfg
+	if cfg.Net.Fault != nil || cfg.Net.Reliable.Enabled || cfg.MaxCycles != 0 || cfg.StallCheckCycles != 0 ||
+		cfg.Net.Crash != nil || cfg.Proto.HeartbeatIntervalCycles != 0 || cfg.Proto.SuspectTimeoutCycles != 0 {
+		return CellSpec{}, false
+	}
+	spec := CellSpec{
+		Schema:   SchemaVersion,
+		Workload: c.W.Name,
+		Procs:    cfg.Procs,
+		PPN:      cfg.ProcsPerNode,
+	}
+	switch cfg.Proto.Mode {
+	case svmsim.HLRC:
+		spec.Mode = "hlrc"
+	case svmsim.AURC:
+		spec.Mode = "aurc"
+	default:
+		return CellSpec{}, false
+	}
+	ho := cfg.Net.HostOverheadCycles
+	occ := cfg.Net.NIOccupancyCycles
+	iobw := cfg.Net.IOBytesPerCycle
+	intr := cfg.IntrHalfCostCycles
+	spec.HostOverheadCycles = &ho
+	spec.NIOccupancyCycles = &occ
+	spec.IOBytesPerCycle = &iobw
+	spec.IntrHalfCostCycles = &intr
+	spec.PageBytes = cfg.Proto.PageBytes
+	switch cfg.IntrPolicy {
+	case svmsim.IntrStatic:
+		spec.IntrPolicy = "static"
+	case svmsim.IntrRoundRobin:
+		spec.IntrPolicy = "round-robin"
+	default:
+		return CellSpec{}, false
+	}
+	switch cfg.Requests {
+	case svmsim.RequestInterrupts:
+		spec.Requests = "interrupts"
+	case svmsim.RequestPolling:
+		spec.Requests = "polling"
+	case svmsim.RequestDedicated:
+		spec.Requests = "dedicated"
+	default:
+		return CellSpec{}, false
+	}
+	spec.NIServePages = cfg.NIServePages
+	spec.NIsPerNode = cfg.NIsPerNode
+	spec.AllLocal = cfg.Proto.AllLocal
+	return spec, true
+}
+
 // WorkloadByName resolves a workload by its presentation name
 // (case-insensitive).
 func WorkloadByName(name string) (svmsim.Workload, error) {
@@ -232,9 +294,29 @@ func ErrKind(err error) string {
 		return "panic"
 	case errors.As(err, new(*JobTimeoutError)):
 		return "job_timeout"
+	case errors.As(err, new(*WorkerLostError)):
+		return "worker_lost"
+	case errors.As(err, new(*RedispatchExhaustedError)):
+		return "redispatch_exhausted"
 	default:
 		return "failed"
 	}
+}
+
+// RetryableKind reports whether a wire error kind names a host-level
+// failure worth re-running elsewhere ("job_timeout", "worker_lost", a
+// panic, an unclassified harness error) as opposed to a deterministic
+// simulation outcome that fails identically on every worker ("stall",
+// "lost_page", ...). It is the kind-string mirror of deterministicErr: the
+// coordinator sees worker failures only as wire kinds, after the typed
+// error has been flattened, and a consistency test holds the two views in
+// agreement. The empty kind (success) is not retryable.
+func RetryableKind(kind string) bool {
+	switch kind {
+	case "", "stall", "lost_page", "link_failure", "deadlock", "livelock":
+		return false
+	}
+	return true
 }
 
 // cachedError carries a structured error kind across the disk cache, where

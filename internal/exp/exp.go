@@ -59,6 +59,17 @@ type Suite struct {
 	// the callback must be safe for concurrent use and cheap (it runs on
 	// the worker's path).
 	Observe func(CellEvent)
+	// Remote, when non-nil, is consulted for each cell after the memo,
+	// singleflight and disk layers miss but before local simulation. It is
+	// the fleet seam: the coordinator installs a hook that dispatches the
+	// cell to a remote worker and returns its wire result. Returning
+	// ok=false (or an empty result) falls back to local simulation, so a
+	// coordinator with no live workers degrades to a plain daemon instead
+	// of failing. The hook runs inside the cell's singleflight — at most
+	// one dispatch per cell is in flight at a time — and must be safe for
+	// concurrent use across distinct cells. Set it before the suite serves
+	// traffic.
+	Remote func(Cell) (CellResult, bool)
 
 	mu     sync.Mutex
 	logMu  sync.Mutex
@@ -79,6 +90,8 @@ const (
 	SourceDisk
 	// SourceSim is a fresh simulation.
 	SourceSim
+	// SourceRemote was served by a fleet worker via Suite.Remote.
+	SourceRemote
 )
 
 // String names the source for metrics labels.
@@ -92,6 +105,8 @@ func (s CellSource) String() string {
 		return "disk"
 	case SourceSim:
 		return "sim"
+	case SourceRemote:
+		return "remote"
 	}
 	return fmt.Sprintf("CellSource(%d)", int(s))
 }
@@ -226,6 +241,32 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 			}
 		}
 	}
+	if !hit {
+		if remote := s.Remote; remote != nil {
+			if rr, ok := remote(Cell{Cfg: cfg, W: w}); ok && (rr.Run != nil || rr.Err != "") {
+				hit, source = true, SourceRemote
+				if rr.Err != "" {
+					// The worker already wrapped the error with workload and
+					// key context; preserve its structured kind and text
+					// verbatim so a remotely-failed cell renders (and caches)
+					// the same bytes a local failure would.
+					kind := rr.ErrKind
+					if kind == "" {
+						kind = "failed"
+					}
+					err = &cachedError{kind: kind, msg: rr.Err}
+				} else {
+					res = &svmsim.Result{Run: rr.Run}
+				}
+				if verbose != nil {
+					s.logf(verbose, "remote %-10s %s\n", w.Name, cfgKey(cfg))
+				}
+				if s.CacheDir != "" {
+					s.spillCell(key, rr.Run, err)
+				}
+			}
+		}
+	}
 	var simSeconds float64
 	for attempt := 0; !hit; attempt++ {
 		if verbose != nil {
@@ -303,6 +344,14 @@ func deterministicErr(err error) bool {
 		// A wall-clock deadline is pure host weather (load, scheduling,
 		// disk): the same cell may finish comfortably on the next attempt,
 		// so the serving layer's bounded retry applies.
+		return false
+	case errors.As(err, new(*WorkerLostError)):
+		// The worker died, not the simulation: the identical cell succeeds
+		// on any other worker.
+		return false
+	case errors.As(err, new(*RedispatchExhaustedError)):
+		// Every placement attempt hit host-level failure; the cell itself
+		// was never judged, so the outcome is not reproducible.
 		return false
 	}
 	return false

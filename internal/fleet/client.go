@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"svmsim/internal/walltime"
+)
+
+// Client is the fleet's shared HTTP client: every hop that crosses a
+// process boundary — worker→coordinator registration and heartbeats,
+// coordinator→worker dispatch, cmd/sweep -remote, cmd/loadgen — goes
+// through Do. It exists because the daemon's admission control speaks 429 +
+// Retry-After, and a client that ignores the header turns polite pushback
+// into a retry storm: Do honors Retry-After, falls back to capped
+// exponential backoff, and adds jitter so a fleet of clients released by
+// the same 429 does not stampede back in lockstep. Transport-level errors
+// (connection refused, reset) retry on the same schedule. Every retried
+// verb here is safe to repeat: submissions are idempotent by content key.
+//
+// The zero value is usable; all fields are optional.
+type Client struct {
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds total tries per request (default 4). Transport
+	// errors and 429s retry up to the budget; any other response returns
+	// to the caller as-is, first try.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (default 100ms), doubling
+	// per attempt. A 429's Retry-After header overrides the computed
+	// delay for that attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single delay, Retry-After included (default 5s).
+	MaxBackoff time.Duration
+	// OnRetry, when non-nil, observes every retry decision before the
+	// sleep: the HTTP status that caused it (0 for transport errors) and
+	// the chosen delay. cmd/loadgen counts admission pushback through it.
+	OnRetry func(status int, delay time.Duration)
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// Do issues one HTTP request with the retry policy above, returning the
+// final status and response body. A non-nil error means the request never
+// produced a response within the attempt budget (or ctx ended).
+func (c *Client) Do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(body) > 0 {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, ctx.Err()
+			}
+			lastErr = err
+			if !c.sleep(ctx, c.delay(attempt, ""), 0) {
+				return 0, nil, ctx.Err()
+			}
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			if !c.sleep(ctx, c.delay(attempt, ""), 0) {
+				return 0, nil, ctx.Err()
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < attempts-1 {
+			if !c.sleep(ctx, c.delay(attempt, resp.Header.Get("Retry-After")), resp.StatusCode) {
+				return 0, nil, ctx.Err()
+			}
+			continue
+		}
+		return resp.StatusCode, data, nil
+	}
+	return 0, nil, fmt.Errorf("fleet: %s %s failed after %d attempts: %w", method, url, attempts, lastErr)
+}
+
+// delay picks the wait before the next attempt: the server's Retry-After
+// when it sent one, else exponential backoff from BaseBackoff; capped at
+// MaxBackoff, plus up to 25% jitter.
+func (c *Client) delay(attempt int, retryAfter string) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.MaxBackoff
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base << attempt
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > maxd {
+		d = maxd
+	}
+	return d + time.Duration(c.jitter(int64(d/4)+1))
+}
+
+// jitter draws from an explicitly seeded source (the global math/rand
+// functions are off-limits under internal/ — see the svmlint wallclock
+// analyzer). The seed only decorrelates processes; within one process the
+// shared stream already decorrelates concurrent callers.
+func (c *Client) jitter(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	c.once.Do(func() {
+		c.rng = rand.New(rand.NewSource(int64(os.Getpid())<<16 + 1))
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Int63n(n)
+}
+
+// sleep waits out one retry delay, abandoning the wait if ctx ends.
+func (c *Client) sleep(ctx context.Context, d time.Duration, status int) bool {
+	if c.OnRetry != nil {
+		c.OnRetry(status, d)
+	}
+	t := walltime.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C():
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,368 @@
+// Package fleet turns N svmsimd daemons into one fault-tolerant
+// sweep-serving cluster. A Coordinator is a full svmsimd front door — the
+// same admission queue, write-ahead journal, content-addressed store and
+// idempotent resubmission as internal/server, because it *is* an
+// internal/server.Server — whose suite delegates cell execution to remote
+// workers through the exp.Suite.Remote seam instead of simulating locally.
+//
+// Workers self-register (POST /v1/workers) with their capacity and cache
+// identity and are tracked by a heartbeat failure detector using the same
+// interval/suspect-timeout vocabulary as the simulated detector in
+// internal/proto/failure.go. Cells route by content-key affinity — warm
+// cells to the node that already holds them, cold cells by rendezvous
+// hashing on the worker's cache identity (stable across restarts on both
+// sides), saturated nodes spilling to least-loaded. A worker that misses
+// its suspect timeout, breaks a connection, or answers with a retryable
+// error kind gets its in-flight cells re-dispatched; stragglers are hedged
+// onto a second worker after a p99-derived delay; and everything is
+// idempotent by content key, so late results from slow-not-dead workers
+// dedupe instead of double-counting. Losing workers shrinks capacity (the
+// front door's 429s take over) but never loses an accepted job: acceptance
+// is journaled at the coordinator before the ack, exactly as in PR 8's
+// single-daemon contract.
+//
+// The invariant catalog lives in DESIGN.md §8c.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svmsim/internal/exp"
+	"svmsim/internal/server"
+	"svmsim/internal/walltime"
+)
+
+// Config sizes a Coordinator. The zero value of any field selects its
+// default.
+type Config struct {
+	// Suite resolves, assembles and (on fallback) simulates cells;
+	// required. The coordinator installs its Remote hook on it.
+	Suite *exp.Suite
+	// Server configures the front door (admission, journal, store). Its
+	// Suite and ExtraMetrics fields are overwritten by the coordinator.
+	Server server.Config
+	// HeartbeatInterval is how often workers are told to beat and how
+	// often the monitor scans for silence (default 1s).
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is the silence that declares a worker dead (default
+	// 4 × HeartbeatInterval, matching internal/proto/failure.go).
+	SuspectTimeout time.Duration
+	// MaxDispatches bounds placements per cell, the first try included
+	// (default 4).
+	MaxDispatches int
+	// WorkerWait is how long a dispatch waits for the first alive worker
+	// before the cell degrades (default 30s).
+	WorkerWait time.Duration
+	// DisableLocalFallback makes an unplaceable cell fail with a typed
+	// *exp.RedispatchExhaustedError instead of simulating locally. The
+	// default (fallback enabled) keeps a worker-less coordinator behaving
+	// exactly like a plain daemon.
+	DisableLocalFallback bool
+	// HedgeFactor scales the observed p99 dispatch latency into the
+	// straggler threshold (default 3; negative disables hedging).
+	HedgeFactor float64
+	// HedgeMin floors the hedge delay (default 250ms) so a fleet of
+	// very fast cells does not hedge on scheduling noise.
+	HedgeMin time.Duration
+	// SettleDelay is how long dispatch holds off after a restart that
+	// replayed journaled jobs, giving the worker fleet time to re-register
+	// before replayed cells are routed. Without it the first worker to
+	// re-register would receive every replayed cell — including ones warm
+	// on a slower-returning peer — and re-simulate them. Default is the
+	// SuspectTimeout: a worker needs a full heartbeat cycle plus its
+	// client's retry backoff to discover the restart (its beat answers
+	// 404) and re-register. Ignored when nothing was replayed.
+	SettleDelay time.Duration
+	// Log, when non-nil, receives coordinator event lines (worker joins,
+	// deaths, redispatches, hedges).
+	Log io.Writer
+}
+
+// Coordinator fronts the fleet. Create with New, serve Handler, stop with
+// Drain.
+type Coordinator struct {
+	srv     *server.Server
+	reg     *registry
+	metrics *metrics
+	client  *Client
+	mux     *http.ServeMux
+
+	heartbeat       time.Duration
+	maxDispatches   int
+	workerWait      time.Duration
+	disableFallback bool
+	hedgeFactor     float64
+	hedgeMin        time.Duration
+
+	log      io.Writer
+	logMu    sync.Mutex
+	draining atomic.Bool
+	stopc    chan struct{}
+	monDone  chan struct{}
+	settled  chan struct{} // closed once post-replay dispatch may proceed
+}
+
+// New builds a Coordinator over cfg.Suite: it installs the dispatch hook on
+// the suite, constructs the front-door server (replaying any journal), and
+// starts the heartbeat monitor. Workers join afterwards over HTTP; until
+// the first one does, dispatches wait up to WorkerWait and then degrade.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Suite == nil {
+		return nil, fmt.Errorf("fleet: Config.Suite is required")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 4 * cfg.HeartbeatInterval
+	}
+	if cfg.MaxDispatches <= 0 {
+		cfg.MaxDispatches = 4
+	}
+	if cfg.WorkerWait <= 0 {
+		cfg.WorkerWait = 30 * time.Second
+	}
+	if cfg.HedgeFactor == 0 {
+		cfg.HedgeFactor = 3
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = 250 * time.Millisecond
+	}
+
+	c := &Coordinator{
+		reg:             newRegistry(cfg.SuspectTimeout),
+		client:          &Client{},
+		heartbeat:       cfg.HeartbeatInterval,
+		maxDispatches:   cfg.MaxDispatches,
+		workerWait:      cfg.WorkerWait,
+		disableFallback: cfg.DisableLocalFallback,
+		hedgeFactor:     cfg.HedgeFactor,
+		hedgeMin:        cfg.HedgeMin,
+		log:             cfg.Log,
+		stopc:           make(chan struct{}),
+		monDone:         make(chan struct{}),
+		settled:         make(chan struct{}),
+	}
+	c.metrics = newFleetMetrics(c.reg)
+	cfg.Suite.Remote = c.remote
+
+	scfg := cfg.Server
+	scfg.Suite = cfg.Suite
+	scfg.ExtraMetrics = c.metrics.render
+	// The front door replays the journal inside server.New, and replayed
+	// jobs start executing immediately — everything they need (registry,
+	// hook, monitor state) is wired above. Replayed cells block on the
+	// settle gate below until the worker fleet has had a beat to
+	// re-register, so affinity routing sees full membership and warm cells
+	// land back on the workers whose disk caches already hold them.
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	c.srv = srv
+
+	if n := srv.Replayed(); n > 0 {
+		settle := cfg.SettleDelay
+		if settle <= 0 {
+			settle = cfg.SuspectTimeout
+		}
+		c.logf("fleet: %d replayed jobs; holding dispatch %v for workers to re-register", n, settle)
+		go func() {
+			t := walltime.NewTimer(settle)
+			defer t.Stop()
+			select {
+			case <-t.C():
+			case <-c.stopc:
+			}
+			close(c.settled)
+		}()
+	} else {
+		close(c.settled)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", c.handleRegister)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("DELETE /v1/workers/{id}", c.handleLeave)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.Handle("/", srv.Handler())
+	c.mux = mux
+
+	go c.monitor()
+	return c, nil
+}
+
+// Handler exposes the coordinator's routes: the worker-membership API plus
+// everything a plain daemon serves.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Server exposes the underlying front-door server (tests and callers that
+// need Drain semantics on the server directly).
+func (c *Coordinator) Server() *server.Server { return c.srv }
+
+// Drain stops admission, runs every accepted job to completion (or until
+// ctx expires), then stops the heartbeat monitor. The monitor keeps running
+// through the drain on purpose: a worker dying mid-drain must still be
+// detected so its cells re-dispatch rather than hang the drain.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.draining.Store(true)
+	err := c.srv.Drain(ctx)
+	close(c.stopc)
+	<-c.monDone
+	return err
+}
+
+// monitor is the failure-detector loop: scan for suspect workers every half
+// interval (prompt detection without hot-spinning) until Drain finishes.
+func (c *Coordinator) monitor() {
+	defer close(c.monDone)
+	every := c.heartbeat / 2
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	for {
+		t := walltime.NewTimer(every)
+		select {
+		case <-c.stopc:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		for _, died := range c.reg.scan() {
+			c.logf("fleet: worker %s missed its suspect timeout; declared dead", died)
+		}
+	}
+}
+
+// regRequest is the worker registration body (POST /v1/workers).
+type regRequest struct {
+	// URL is the worker's reachable base URL; required.
+	URL string `json:"url"`
+	// Capacity is how many concurrent dispatches the worker wants
+	// (its own worker-pool size); minimum 1.
+	Capacity int `json:"capacity,omitempty"`
+	// CacheID identifies the worker's persistent cell cache (host + cache
+	// dir). Two incarnations with the same CacheID share warmth.
+	CacheID string `json:"cache_id,omitempty"`
+	// WarmKeys lists cell keys already committed to the worker's cache,
+	// seeding the coordinator's warm map at registration. Essential after
+	// a coordinator restart: the replayed jobs' warm cells route back to
+	// the disks that hold them instead of wherever rendezvous points.
+	WarmKeys []string `json:"warm_keys,omitempty"`
+}
+
+// regResponse acknowledges a registration with the assigned ID and the
+// heartbeat cadence the coordinator expects.
+type regResponse struct {
+	ID                  string `json:"id"`
+	HeartbeatIntervalMs int64  `json:"heartbeat_interval_ms"`
+	SuspectTimeoutMs    int64  `json:"suspect_timeout_ms"`
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeErrorJSON(w, http.StatusServiceUnavailable, "draining", "coordinator is draining; not accepting workers")
+		return
+	}
+	var req regRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErrorJSON(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		writeErrorJSON(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("worker url %q is not an absolute URL", req.URL))
+		return
+	}
+	wk := c.reg.register(req.URL, req.Capacity, req.CacheID)
+	for _, key := range req.WarmKeys {
+		c.reg.markWarm(wk.cacheID, key)
+	}
+	c.logf("fleet: worker %s joined from %s (capacity %d, cache %q, %d warm cells)",
+		wk.id, wk.url, wk.capacity, wk.cacheID, len(req.WarmKeys))
+	writeJSON(w, http.StatusCreated, regResponse{
+		ID:                  wk.id,
+		HeartbeatIntervalMs: c.heartbeat.Milliseconds(),
+		SuspectTimeoutMs:    c.reg.timeout.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	switch c.reg.heartbeat(r.PathValue("id")) {
+	case hbOK:
+		w.WriteHeader(http.StatusNoContent)
+	case hbUnknown:
+		// This coordinator has no memory of the ID — it restarted. 404
+		// tells the worker to re-register.
+		writeErrorJSON(w, http.StatusNotFound, "unknown_worker", "unknown worker id; re-register")
+	default:
+		// Declared dead (or replaced by a re-registration). The worker is
+		// evidently alive after all; 410 tells it to rejoin under a new ID.
+		writeErrorJSON(w, http.StatusGone, "retired_worker", "worker was retired; re-register")
+	}
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !c.reg.leave(id) {
+		writeErrorJSON(w, http.StatusNotFound, "unknown_worker", "no such live worker")
+		return
+	}
+	c.logf("fleet: worker %s left gracefully", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": c.reg.views()})
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.log == nil {
+		return
+	}
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	fmt.Fprintf(c.log, format+"\n", args...)
+}
+
+// decodeJSON strictly parses a small JSON request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// writeJSON writes one compact JSON object plus newline.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeErrorJSON(w, http.StatusInternalServerError, "failed", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// writeErrorJSON mirrors internal/server's structured error envelope.
+func writeErrorJSON(w http.ResponseWriter, code int, kind, msg string) {
+	var body struct {
+		Error struct {
+			Kind    string `json:"kind"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	body.Error.Kind, body.Error.Message = kind, msg
+	data, _ := json.Marshal(body)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// metrics is the coordinator's registry, rendered onto the front door's
+// /metrics scrape through server.Config.ExtraMetrics so one endpoint shows
+// both the admission-side and the fleet-side view. Per-worker series are
+// labeled with the coordinator-assigned worker ID and emitted in sorted
+// order (deterministic scrapes, same convention as internal/server).
+type metrics struct {
+	reg *registry
+
+	mu           sync.Mutex
+	dispatched   map[string]uint64 // cells sent, by worker ID
+	completed    map[string]uint64 // successful worker results, by worker ID
+	dispatchErrs map[string]uint64 // failed dispatch attempts, by worker ID
+	redispatched uint64            // cells re-placed after a failed dispatch
+	hedges       uint64            // straggler duplicates launched
+	late         uint64            // results that arrived after the cell was resolved
+	fallbacks    uint64            // cells degraded to local simulation
+
+	// Dispatch latency: a fixed-bucket histogram for the scrape plus a
+	// bounded sample ring for the hedging policy's p99 estimate.
+	latSum     float64
+	latCount   uint64
+	latBuckets []uint64
+	ring       [256]float64
+	ringNext   int
+	ringFull   bool
+}
+
+// latencyBounds are the dispatch-latency bucket upper bounds in seconds —
+// coarser than the cell-simulation histogram because a dispatch includes
+// queueing and network time on top of the simulation.
+var latencyBounds = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+func newFleetMetrics(reg *registry) *metrics {
+	return &metrics{
+		reg:          reg,
+		dispatched:   make(map[string]uint64),
+		completed:    make(map[string]uint64),
+		dispatchErrs: make(map[string]uint64),
+		latBuckets:   make([]uint64, len(latencyBounds)+1),
+	}
+}
+
+func (m *metrics) dispatchedTo(id string) {
+	m.mu.Lock()
+	m.dispatched[id]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) completedOn(id string, seconds float64) {
+	m.mu.Lock()
+	m.completed[id]++
+	m.latSum += seconds
+	m.latCount++
+	m.latBuckets[sort.SearchFloat64s(latencyBounds, seconds)]++
+	m.ring[m.ringNext] = seconds
+	m.ringNext++
+	if m.ringNext == len(m.ring) {
+		m.ringNext, m.ringFull = 0, true
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) dispatchFailed(id string) {
+	m.mu.Lock()
+	m.dispatchErrs[id]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) redispatch() {
+	m.mu.Lock()
+	m.redispatched++
+	m.mu.Unlock()
+}
+
+func (m *metrics) hedged() {
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+func (m *metrics) lateResult() {
+	m.mu.Lock()
+	m.late++
+	m.mu.Unlock()
+}
+
+func (m *metrics) fellBack() {
+	m.mu.Lock()
+	m.fallbacks++
+	m.mu.Unlock()
+}
+
+// p99 estimates the 99th-percentile dispatch latency in seconds from the
+// sample ring; zero means "no samples yet" (the hedging policy reads that
+// as "don't hedge").
+func (m *metrics) p99() float64 {
+	m.mu.Lock()
+	n := m.ringNext
+	if m.ringFull {
+		n = len(m.ring)
+	}
+	samples := make([]float64, n)
+	copy(samples, m.ring[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	idx := n * 99 / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return samples[idx]
+}
+
+// render writes the fleet registry in the Prometheus text format.
+func (m *metrics) render(w io.Writer) {
+	alive, deaths, leaves := m.reg.counts()
+	views := m.reg.views()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	labeled := func(name, help string, vals map[string]uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{worker=%q} %d\n", name, k, vals[k])
+		}
+	}
+
+	gauge("fleet_workers", "Alive registered workers.", alive)
+	counter("fleet_worker_deaths_total", "Workers retired by the failure detector or a broken connection.", deaths)
+	counter("fleet_worker_leaves_total", "Workers that deregistered gracefully (or re-registered).", leaves)
+	counter("fleet_jobs_redispatched_total", "Cells re-placed on another worker after a failed dispatch.", m.redispatched)
+	counter("fleet_hedges_total", "Straggler cells speculatively duplicated on a second worker.", m.hedges)
+	counter("fleet_late_results_total", "Worker results that arrived after the cell was already resolved (deduped, warmth recorded).", m.late)
+	counter("fleet_local_fallbacks_total", "Cells simulated locally because the fleet could not place them.", m.fallbacks)
+	labeled("fleet_cells_dispatched_total", "Cells sent to each worker.", m.dispatched)
+	labeled("fleet_cells_completed_total", "Cells each worker answered successfully.", m.completed)
+	labeled("fleet_dispatch_errors_total", "Dispatch attempts that failed per worker (transport errors, retryable kinds, lost workers).", m.dispatchErrs)
+
+	fmt.Fprintf(w, "# HELP fleet_worker_inflight Outstanding dispatches per worker.\n# TYPE fleet_worker_inflight gauge\n")
+	for _, v := range views {
+		if v.Alive {
+			fmt.Fprintf(w, "fleet_worker_inflight{worker=%q} %d\n", v.ID, v.Inflight)
+		}
+	}
+
+	name := "fleet_dispatch_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall-clock time per successful dispatch (queueing + network + simulation).\n# TYPE %s histogram\n", name, name)
+	var cum uint64
+	for i, b := range latencyBounds {
+		cum += m.latBuckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += m.latBuckets[len(latencyBounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(m.latSum, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, m.latCount)
+}

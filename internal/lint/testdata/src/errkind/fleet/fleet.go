@@ -1,0 +1,33 @@
+// Package fail mirrors the fleet error taxonomy: a dispatch layer adds
+// typed failures (a worker lost mid-cell, a redispatch budget exhausted) and
+// must register each with both classifiers. Here WorkerLostError is wired
+// through while RedispatchExhaustedError was forgotten — the analyzer must
+// flag exactly the forgotten one, in both switches.
+package fail
+
+// WorkerLostError is classified and dispositioned (retryable: the cell can
+// re-place on another worker).
+type WorkerLostError struct{ Worker string }
+
+func (e *WorkerLostError) Error() string { return "worker " + e.Worker + " lost" }
+
+// RedispatchExhaustedError is in the taxonomy but both switches forgot it.
+type RedispatchExhaustedError struct{ Attempts int }
+
+func (e *RedispatchExhaustedError) Error() string { return "dispatch exhausted" }
+
+// ErrKind maps typed failures to wire kinds.
+func ErrKind(err error) string {
+	if _, ok := err.(*WorkerLostError); ok {
+		return "worker_lost"
+	}
+	return "failed"
+}
+
+// deterministicErr decides whether a failure is worth retrying.
+func deterministicErr(err error) bool {
+	if _, ok := err.(*WorkerLostError); ok {
+		return false
+	}
+	return false
+}

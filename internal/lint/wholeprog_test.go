@@ -142,6 +142,27 @@ func TestParkDisciplineRepoShapes(t *testing.T) {
 	}
 }
 
+// TestErrkindCoversFleetTaxonomy pins the real fleet error types into the
+// exhaustiveness gate: internal/exp declares *WorkerLostError and
+// *RedispatchExhaustedError and must keep both in ErrKind and
+// deterministicErr. Loading exp (and the fleet package that raises the
+// errors) with only errkind enabled must come back clean; the companion
+// fixture testdata/src/errkind/fleet proves the analyzer fires when one of
+// these types is dropped from a classifier.
+func TestErrkindCoversFleetTaxonomy(t *testing.T) {
+	res, err := Run(Options{
+		Dir:      ".",
+		Patterns: []string{filepath.Join("..", "exp"), filepath.Join("..", "fleet")},
+		Enable:   []string{"errkind"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("%s", f.String())
+	}
+}
+
 // TestErrkindInertWithoutClassifier checks the partial-load guard: a program
 // that declares error types but has no ErrKind classifier must not be asked
 // to be exhaustive against nothing.

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package server
+
+import "os"
+
+// Non-unix platforms get no advisory locking: the journal opens without
+// exclusivity, matching the pre-lock behavior. The interleaving hazard the
+// lock guards against is documented in README ("one journal dir, one
+// daemon") and enforced wherever flock exists.
+func lockJournalDir(dir string) (*os.File, error) { return nil, nil }
+
+func releaseJournalDir(f *os.File) {}

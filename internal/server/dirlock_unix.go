@@ -1,0 +1,52 @@
+//go:build unix
+
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// lockFile is the advisory-lock filename inside the journal directory. The
+// lock is on this sentinel file, not the journal itself, so compaction's
+// rename-over never swaps the locked inode out from under us.
+const lockFile = "journal.lock"
+
+// lockJournalDir takes a non-blocking exclusive flock on the journal
+// directory's sentinel file and stamps it with our PID. A held lock means
+// another svmsimd owns the directory: fail fast with an actionable error
+// rather than interleave two daemons' records.
+func lockJournalDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: journal lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder := ""
+		if data, rerr := os.ReadFile(path); rerr == nil {
+			if pid := strings.TrimSpace(string(data)); pid != "" {
+				holder = " (held by pid " + pid + ")"
+			}
+		}
+		f.Close()
+		return nil, fmt.Errorf("server: journal dir %s is already in use by another svmsimd%s: "+
+			"two daemons sharing one journal would interleave records; give each instance its own -journal-dir", dir, holder)
+	}
+	// Best effort: the PID stamp only improves the error message above.
+	f.Truncate(0)
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	return f, nil
+}
+
+// releaseJournalDir drops the lock. Closing the descriptor releases the
+// flock; the sentinel file is left behind (unlocked) on purpose — removing
+// it would race a concurrent opener locking the same inode.
+func releaseJournalDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

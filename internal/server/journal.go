@@ -85,6 +85,7 @@ type replayedJob struct {
 // no locking of its own.
 type journal struct {
 	f       *os.File
+	lock    *os.File // exclusive flock on the journal dir; nil on non-unix
 	dir     string
 	path    string
 	records int // lines in the file, compaction trigger
@@ -98,17 +99,28 @@ func openJournal(dir string) (*journal, []replayedJob, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("server: journal dir: %w", err)
 	}
+	// Exclusivity before anything else: two daemons appending to one journal
+	// would silently interleave each other's records, and the first replay
+	// would absorb (and compact away) the other's live jobs. An advisory
+	// flock makes the second open fail fast instead. The lock dies with the
+	// process, so a kill -9 never wedges the directory.
+	lock, err := lockJournalDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
 	path := filepath.Join(dir, journalFile)
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
+		releaseJournalDir(lock)
 		return nil, nil, fmt.Errorf("server: reading journal: %w", err)
 	}
 	replayed, _ := replayJournal(data)
 
-	jn := &journal{dir: dir, path: path}
+	jn := &journal{lock: lock, dir: dir, path: path}
 	// Compaction doubles as tail repair: the rewrite drops both the dead
 	// records and whatever garbage followed the last well-formed one.
 	if err := jn.rewrite(compactionRecords(replayed)); err != nil {
+		releaseJournalDir(lock)
 		return nil, nil, err
 	}
 	return jn, replayed, nil
@@ -293,11 +305,20 @@ func (jn *journal) rewrite(recs []journalRecord) error {
 	return nil
 }
 
-// close releases the journal file handle (after drain).
+// close releases the journal file handle and the directory lock (after
+// drain), so the directory can be adopted by a successor in the same
+// process — tests and blue/green restarts depend on that.
 func (jn *journal) close() {
-	if jn != nil && jn.f != nil {
+	if jn == nil {
+		return
+	}
+	if jn.f != nil {
 		jn.f.Close()
 		jn.f = nil
+	}
+	if jn.lock != nil {
+		releaseJournalDir(jn.lock)
+		jn.lock = nil
 	}
 }
 

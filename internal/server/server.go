@@ -71,6 +71,12 @@ type Config struct {
 	// RetryBackoff is the base delay before a timed-out job's second
 	// attempt (default 500ms), doubling per further attempt.
 	RetryBackoff time.Duration
+	// ExtraMetrics, when non-nil, is invoked at the end of every /metrics
+	// render to append additional exposition lines to the same scrape. It
+	// is the seam a wrapping layer (the fleet coordinator) uses to serve
+	// its own registry on the daemon's endpoint; the callback must be safe
+	// for concurrent use.
+	ExtraMetrics func(io.Writer)
 }
 
 // Server is the svmsimd daemon core: routing, job queue, worker pool,
@@ -82,6 +88,7 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	journal *journal
+	extra   func(io.Writer)
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -94,12 +101,18 @@ type Server struct {
 
 	workers     sync.WaitGroup
 	inflight    atomic.Int64
+	replayedN   int // jobs revived from the journal at startup
 	maxJobs     int
 	maxAttempts int
 	jobDeadline time.Duration
 	retryBack   time.Duration
 	retry       string // Retry-After value for 429s
 }
+
+// Replayed reports how many incomplete jobs the journal revived at startup.
+// A fronting layer (internal/fleet) uses a nonzero count to hold dispatch
+// briefly while downstream capacity re-registers after a crash restart.
+func (s *Server) Replayed() int { return s.replayedN }
 
 // New builds a Server over cfg.Suite, replays the journal if one is
 // configured, and starts the worker pool. The suite's Observe hook is
@@ -136,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 		jobDeadline: cfg.JobDeadline,
 		retryBack:   cfg.RetryBackoff,
 		retry:       strconv.Itoa(cfg.RetryAfterSeconds),
+		extra:       cfg.ExtraMetrics,
 	}
 	s.metrics = newMetrics(func() int { return len(s.queue) }, s.inflightCount)
 
@@ -155,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 		s.queue <- j
 	}
 	s.metrics.replayed(len(pending))
+	s.replayedN = len(pending)
 
 	prev := cfg.Suite.Observe
 	cfg.Suite.Observe = func(ev exp.CellEvent) {
@@ -499,6 +514,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.render(w)
+	if s.extra != nil {
+		s.extra(w)
+	}
 }
 
 // handleHealthz is pure liveness: the process is up and serving HTTP. It
