@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-baseline lint-report build test race chaos serve-smoke chaos-serve fleet-smoke bench bench-engine bench-smoke bench-snapshot experiments faults
+.PHONY: check vet lint lint-baseline lint-report build test race chaos serve-smoke chaos-serve fleet-smoke twin-validate bench bench-engine bench-smoke bench-snapshot experiments faults
 
-check: vet lint build test race chaos serve-smoke chaos-serve fleet-smoke
+check: vet lint build test race chaos serve-smoke chaos-serve fleet-smoke twin-validate
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +72,14 @@ chaos-serve:
 fleet-smoke:
 	sh scripts/chaos_serve.sh fleet
 
+# Analytical-twin smoke: run the interrupt sweep with and without
+# -twin-prune, require a strictly smaller simulation count with the
+# reduction logged, the predicted cells marked in the document, and every
+# pruned-table value within 15% of the fully simulated one. A couple of
+# minutes end to end.
+twin-validate:
+	sh scripts/twin_validate.sh
+
 # Single-run and suite-level throughput benchmarks (before/after numbers for
 # EXPERIMENTS.md).
 bench:
@@ -86,10 +94,11 @@ bench-engine:
 bench-smoke:
 	sh scripts/bench_smoke.sh
 
-# Record the perf trajectory: best-of-N engine and table benchmark numbers
-# written to BENCH_PR6.json (checked in; see scripts/bench_snapshot.sh).
+# Record the perf trajectory: best-of-N engine, table and twin benchmark
+# numbers written to BENCH_PR10.json (checked in; see
+# scripts/bench_snapshot.sh).
 bench-snapshot:
-	sh scripts/bench_snapshot.sh BENCH_PR6.json
+	sh scripts/bench_snapshot.sh BENCH_PR10.json
 
 # Regenerate every table and figure of the paper (small sizes, parallel).
 experiments:

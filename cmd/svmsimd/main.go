@@ -53,6 +53,7 @@ import (
 	"svmsim/internal/exp"
 	"svmsim/internal/fleet"
 	"svmsim/internal/server"
+	"svmsim/internal/twin"
 )
 
 // options collects every flag so run stays a single-signature seam for the
@@ -182,6 +183,7 @@ func run(o options) error {
 
 	scfg := server.Config{
 		Suite:             suite,
+		Twin:              twin.New(),
 		QueueDepth:        o.queue,
 		Workers:           o.workers,
 		RetryAfterSeconds: o.retry,

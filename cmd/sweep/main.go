@@ -56,6 +56,9 @@ func run() int {
 		jsonOut    = flag.Bool("json", false, "emit the sweep as a schema-v1 JSON document instead of a rendered table")
 		cellSpec   = flag.String("cell", "", "run one cell from an inline JSON cell spec and emit its schema-v1 result document")
 		remote     = flag.String("remote", "", "submit to the svmsimd daemon or fleet coordinator at this base URL instead of simulating locally")
+		twinPrune  = flag.Bool("twin-prune", false, "calibrate the analytical twin on the swept axis and simulate only cells its prediction cannot decide; the rest are filled from the model and marked predicted")
+		twinEps    = flag.Float64("twin-eps", 0.05, "with -twin-prune and no -twin-target: simulate cells whose relative confidence interval exceeds this")
+		twinTarget = flag.Float64("twin-target", 0, "with -twin-prune: simulate only cells whose confidence interval straddles this target speedup (0 = use -twin-eps)")
 		verbose    = flag.Bool("v", false, "progress output")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -88,6 +91,11 @@ func run() int {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+
+	if *twinPrune && (*remote != "" || *cellSpec != "") {
+		fmt.Fprintln(os.Stderr, "-twin-prune prunes a local sweep; it cannot combine with -remote or -cell")
+		return 1
 	}
 
 	if *remote != "" {
@@ -127,7 +135,13 @@ func run() int {
 			}
 		}
 	}
-	res, err := s.RunSweep(spec)
+	var res exp.SweepResult
+	var err error
+	if *twinPrune {
+		res, err = runTwinPruned(s, spec, *twinEps, *twinTarget)
+	} else {
+		res, err = s.RunSweep(spec)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -142,6 +156,9 @@ func run() int {
 		return 0
 	}
 	fmt.Print(renderTable(res))
+	if res.Twin != nil {
+		fmt.Print(twinFootnote(res.Twin))
+	}
 	return 0
 }
 

@@ -245,8 +245,14 @@ func SelectWorkloads(names []string) ([]svmsim.Workload, error) {
 // persistent cache entry (the key guards against digest collisions) and as
 // the daemon's result body.
 type CellResult struct {
-	Schema int              `json:"schema"`
-	Key    string           `json:"key"`
+	Schema int    `json:"schema"`
+	Key    string `json:"key"`
+	// Source says how the run was produced: SourceSimulated (a real
+	// simulation — the default, and what a missing field decodes to) or
+	// SourcePredictedCell (filled in from the analytical twin's calibrated
+	// model, see internal/twin). Pruned sweeps are auditable downstream
+	// because every model-filled cell carries the marker.
+	Source string           `json:"source,omitempty"`
 	Run    *svmsim.RunStats `json:"run,omitempty"`
 	// ErrKind classifies a failed cell ("stall", "lost_page",
 	// "link_failure" or "failed"); it survives the disk cache, so a
@@ -255,7 +261,16 @@ type CellResult struct {
 	Err     string `json:"err,omitempty"`
 }
 
-// NewCellResult builds the wire form of a finished cell.
+// CellResult.Source values.
+const (
+	// SourceSimulated marks a result produced by the simulator.
+	SourceSimulated = "simulated"
+	// SourcePredictedCell marks a result filled in from the analytical twin
+	// without a simulation.
+	SourcePredictedCell = "predicted"
+)
+
+// NewCellResult builds the wire form of a finished (simulated) cell.
 func NewCellResult(key string, run *svmsim.RunStats, err error) CellResult {
 	r := CellResult{Schema: SchemaVersion, Key: key}
 	if err != nil {
@@ -263,8 +278,16 @@ func NewCellResult(key string, run *svmsim.RunStats, err error) CellResult {
 		r.Err = err.Error()
 	} else {
 		r.Run = run
+		r.Source = SourceSimulated
 	}
 	return r
+}
+
+// NewPredictedCellResult builds the wire form of a twin-predicted cell: the
+// same document shape as a simulated result, marked so downstream consumers
+// can audit which cells carry model output instead of measurements.
+func NewPredictedCellResult(key string, run *svmsim.RunStats) CellResult {
+	return CellResult{Schema: SchemaVersion, Key: key, Source: SourcePredictedCell, Run: run}
 }
 
 // ErrKind classifies an error into the wire schema's structured kinds: the
@@ -298,6 +321,10 @@ func ErrKind(err error) string {
 		return "worker_lost"
 	case errors.As(err, new(*RedispatchExhaustedError)):
 		return "redispatch_exhausted"
+	case errors.As(err, new(*UncalibratedError)):
+		return "uncalibrated"
+	case errors.As(err, new(*InfeasibleError)):
+		return "infeasible"
 	default:
 		return "failed"
 	}
@@ -313,7 +340,11 @@ func ErrKind(err error) string {
 // agreement. The empty kind (success) is not retryable.
 func RetryableKind(kind string) bool {
 	switch kind {
-	case "", "stall", "lost_page", "link_failure", "deadlock", "livelock":
+	case "", "stall", "lost_page", "link_failure", "deadlock", "livelock",
+		"uncalibrated", "infeasible":
+		// The twin kinds are deterministic model outcomes: the model set
+		// and the studied parameter space are fixed, so no other worker
+		// answers differently.
 		return false
 	}
 	return true
@@ -342,6 +373,11 @@ func DecodeCellResult(data []byte) (CellResult, error) {
 	if r.Schema != SchemaVersion {
 		return CellResult{}, fmt.Errorf("exp: unsupported schema version %d (have %d)", r.Schema, SchemaVersion)
 	}
+	// The source field postdates the first v1 documents; absent means
+	// simulated (every pre-twin producer only ever wrote simulations).
+	if r.Run != nil && r.Source == "" {
+		r.Source = SourceSimulated
+	}
 	return r, nil
 }
 
@@ -360,12 +396,28 @@ type SweepSpec struct {
 }
 
 // SweepResult is the wire form of a finished sweep: the rendered table in
-// structured form.
+// structured form. Twin is present only on twin-pruned sweeps.
 type SweepResult struct {
-	Schema int         `json:"schema"`
-	Param  string      `json:"param"`
-	Mode   string      `json:"mode"`
-	Table  TableResult `json:"table"`
+	Schema int          `json:"schema"`
+	Param  string       `json:"param"`
+	Mode   string       `json:"mode"`
+	Table  TableResult  `json:"table"`
+	Twin   *TwinSummary `json:"twin,omitempty"`
+}
+
+// TwinSummary audits a twin-pruned sweep: how many cells were simulated vs
+// filled in from the analytical model, and exactly which cells (by content
+// key) carry predictions. Absent on unpruned sweeps, so their documents are
+// byte-identical to the pre-twin encoding.
+type TwinSummary struct {
+	// Simulated counts the cells that ran in the simulator (calibration
+	// anchors included).
+	Simulated int `json:"simulated"`
+	// Predicted counts the cells answered by the model.
+	Predicted int `json:"predicted"`
+	// PredictedCells lists the content keys of every model-filled cell, in
+	// sorted order.
+	PredictedCells []string `json:"predicted_cells,omitempty"`
 }
 
 // TableResult is the structured form of a rendered Table.

@@ -259,6 +259,8 @@ func TestErrKindTaxonomy(t *testing.T) {
 		{&svmsim.DeadlockError{NowCycles: 9}, "deadlock", true},
 		{&svmsim.LivelockError{NowCycles: 9, Events: 10}, "livelock", true},
 		{&svmsim.ThreadPanicError{Thread: "p0", Value: "boom"}, "panic", false},
+		{&UncalibratedError{Workload: "FFT", Mode: "hlrc", Reason: "no calibration has run"}, "uncalibrated", true},
+		{&InfeasibleError{Workload: "FFT", Mode: "hlrc", MinSpeedup: 12, Best: 9.1}, "infeasible", true},
 		{&JobTimeoutError{Key: "k", Attempt: 2}, "job_timeout", false},
 		{errors.New("setup exploded"), "failed", false},
 	}

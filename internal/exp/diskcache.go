@@ -84,6 +84,12 @@ func (s *Suite) loadCell(key string) (*svmsim.RunStats, error, bool) {
 	if e.Run == nil {
 		return nil, nil, false
 	}
+	// Defensive: the suite never spills predicted cells (cache purity —
+	// only measurements persist), but a foreign document marked predicted
+	// must not be laundered into a simulated result. Treat it as a miss.
+	if e.Source == SourcePredictedCell {
+		return nil, nil, false
+	}
 	return e.Run, nil, true
 }
 

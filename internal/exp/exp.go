@@ -70,6 +70,18 @@ type Suite struct {
 	// concurrent use across distinct cells. Set it before the suite serves
 	// traffic.
 	Remote func(Cell) (CellResult, bool)
+	// Predict, when non-nil, is consulted for each cell after the memo,
+	// singleflight and disk layers miss but before Remote and local
+	// simulation. It is the analytical-twin seam: twin-guided sweep pruning
+	// (cmd/sweep -twin-prune) installs a hook that answers high-confidence
+	// cells from the calibrated model in microseconds. Returning ok=false
+	// falls through to Remote/simulation. A predicted result is memoized
+	// in-memory (and observable as SourcePredicted) but never spilled to
+	// CacheDir: the persistent cache holds only simulated truth, so a later
+	// run with a different (or no) twin never mistakes a prediction for a
+	// measurement. Install it only for runs whose outputs mark predicted
+	// cells as such.
+	Predict func(Cell) (*svmsim.RunStats, bool)
 
 	mu     sync.Mutex
 	logMu  sync.Mutex
@@ -92,6 +104,9 @@ const (
 	SourceSim
 	// SourceRemote was served by a fleet worker via Suite.Remote.
 	SourceRemote
+	// SourcePredicted was answered by the analytical twin via Suite.Predict
+	// (no simulation ran; the result is a model prediction).
+	SourcePredicted
 )
 
 // String names the source for metrics labels.
@@ -107,6 +122,8 @@ func (s CellSource) String() string {
 		return "sim"
 	case SourceRemote:
 		return "remote"
+	case SourcePredicted:
+		return "predicted"
 	}
 	return fmt.Sprintf("CellSource(%d)", int(s))
 }
@@ -242,6 +259,21 @@ func (s *Suite) run(cfg svmsim.Config, w svmsim.Workload) (*svmsim.RunStats, err
 		}
 	}
 	if !hit {
+		// The twin answers before the fleet: a confident prediction costs
+		// microseconds, a remote dispatch costs a network round trip plus a
+		// worker's simulation. Predictions deliberately skip the CacheDir
+		// spill below — see the Predict field's cache-purity contract.
+		if predict := s.Predict; predict != nil {
+			if run, ok := predict(Cell{Cfg: cfg, W: w}); ok && run != nil {
+				hit, source = true, SourcePredicted
+				res = &svmsim.Result{Run: run}
+				if verbose != nil {
+					s.logf(verbose, "twin %-12s %s\n", w.Name, cfgKey(cfg))
+				}
+			}
+		}
+	}
+	if !hit {
 		if remote := s.Remote; remote != nil {
 			if rr, ok := remote(Cell{Cfg: cfg, W: w}); ok && (rr.Run != nil || rr.Err != "") {
 				hit, source = true, SourceRemote
@@ -353,6 +385,14 @@ func deterministicErr(err error) bool {
 		// Every placement attempt hit host-level failure; the cell itself
 		// was never judged, so the outcome is not reproducible.
 		return false
+	case errors.As(err, new(*UncalibratedError)):
+		// The twin's model set is fixed for the life of the request:
+		// consulting it again without calibrating cannot succeed.
+		return true
+	case errors.As(err, new(*InfeasibleError)):
+		// The studied parameter space is finite and the model deterministic;
+		// the same query is infeasible on every retry.
+		return true
 	}
 	return false
 }

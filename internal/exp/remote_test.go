@@ -224,6 +224,8 @@ func TestRetryableKindMirrorsDeterministicErr(t *testing.T) {
 		&svmsim.DeadlockError{},
 		&svmsim.LivelockError{},
 		&svmsim.ThreadPanicError{},
+		&UncalibratedError{},
+		&InfeasibleError{},
 		&JobTimeoutError{},
 		&WorkerLostError{},
 		&RedispatchExhaustedError{},

@@ -1,0 +1,40 @@
+// Package model mirrors the analytical-twin error taxonomy: a modeling
+// layer adds deterministic verdict errors (no calibrated model, constraint
+// unsatisfiable) that must register with both classifiers so the wire and
+// the retry loop agree they are not worth re-running. UncalibratedError is
+// wired through while InfeasibleError was forgotten — the analyzer must
+// flag exactly the forgotten one, in both switches. The PredictError alias
+// must add nothing: an alias is the same type, already dispositioned under
+// its canonical name.
+package model
+
+// UncalibratedError is classified and dispositioned (deterministic: the
+// model set is fixed, no other worker answers differently).
+type UncalibratedError struct{ Workload string }
+
+func (e *UncalibratedError) Error() string { return "no model for " + e.Workload }
+
+// InfeasibleError is in the taxonomy but both switches forgot it.
+type InfeasibleError struct{ MinSpeedup float64 }
+
+func (e *InfeasibleError) Error() string { return "constraint unsatisfiable" }
+
+// PredictError renames the wired type at its call sites; aliases are not
+// distinct error types and must not be double-counted.
+type PredictError = UncalibratedError
+
+// ErrKind maps typed failures to wire kinds.
+func ErrKind(err error) string {
+	if _, ok := err.(*UncalibratedError); ok {
+		return "uncalibrated"
+	}
+	return "failed"
+}
+
+// deterministicErr decides whether a failure is worth retrying.
+func deterministicErr(err error) bool {
+	if _, ok := err.(*UncalibratedError); ok {
+		return true
+	}
+	return false
+}

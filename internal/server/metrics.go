@@ -36,6 +36,12 @@ type metrics struct {
 
 	latency histogram
 
+	// twinPredictions counts /v1/twin/* answers served from the analytical
+	// model; twinCalibrations, when non-nil (twin endpoints enabled), reads
+	// the twin's calibration-pass counter live at scrape time.
+	twinPredictions  uint64
+	twinCalibrations func() uint64
+
 	// Gauges are read live at scrape time.
 	queueDepth func() int
 	inflight   func() int
@@ -76,6 +82,12 @@ func (m *metrics) rejected() {
 func (m *metrics) refused() {
 	m.mu.Lock()
 	m.jobsRefused++
+	m.mu.Unlock()
+}
+
+func (m *metrics) twinPredicted() {
+	m.mu.Lock()
+	m.twinPredictions++
 	m.mu.Unlock()
 }
 
@@ -177,6 +189,10 @@ func (m *metrics) render(w io.Writer) {
 	labeled("svmsimd_cache_hits_total", "Cells served without a fresh simulation, by cache layer.", "layer", m.cacheHits)
 	counter("svmsimd_cache_misses_total", "Cells that required a fresh simulation.", m.cacheMisses)
 	counter("svmsimd_cells_simulated_total", "Fresh simulations executed.", m.cellsSim)
+	if m.twinCalibrations != nil {
+		counter("svmsimd_twin_predictions_total", "Twin predict/optimize responses answered from the analytical model, bypassing the job queue.", m.twinPredictions)
+		counter("svmsimd_twin_calibrations_total", "Calibration passes that built or extended a twin model.", m.twinCalibrations())
+	}
 	m.latency.writeTo(w, "svmsimd_cell_latency_seconds", "Wall-clock simulation time per freshly simulated cell.")
 }
 

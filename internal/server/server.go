@@ -35,6 +35,7 @@ import (
 
 	"svmsim"
 	"svmsim/internal/exp"
+	"svmsim/internal/twin"
 )
 
 // Config sizes a Server. The zero value of any field selects its default.
@@ -71,6 +72,12 @@ type Config struct {
 	// RetryBackoff is the base delay before a timed-out job's second
 	// attempt (default 500ms), doubling per further attempt.
 	RetryBackoff time.Duration
+	// Twin, when non-nil, enables the analytical-twin endpoints
+	// (POST /v1/twin/predict, POST /v1/twin/optimize): synchronous
+	// model-based answers served on the request goroutine, bypassing the
+	// job queue and result store entirely. First contact with a
+	// workload/axis calibrates lazily through the Suite.
+	Twin *twin.Twin
 	// ExtraMetrics, when non-nil, is invoked at the end of every /metrics
 	// render to append additional exposition lines to the same scrape. It
 	// is the seam a wrapping layer (the fleet coordinator) uses to serve
@@ -88,6 +95,7 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	journal *journal
+	twin    *twin.Twin
 	extra   func(io.Writer)
 
 	mu       sync.Mutex
@@ -149,6 +157,7 @@ func New(cfg Config) (*Server, error) {
 		jobDeadline: cfg.JobDeadline,
 		retryBack:   cfg.RetryBackoff,
 		retry:       strconv.Itoa(cfg.RetryAfterSeconds),
+		twin:        cfg.Twin,
 		extra:       cfg.ExtraMetrics,
 	}
 	s.metrics = newMetrics(func() int { return len(s.queue) }, s.inflightCount)
@@ -184,6 +193,11 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	if s.twin != nil {
+		mux.HandleFunc("POST /v1/twin/predict", s.handleTwinPredict)
+		mux.HandleFunc("POST /v1/twin/optimize", s.handleTwinOptimize)
+		s.metrics.twinCalibrations = s.twin.Calibrations
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

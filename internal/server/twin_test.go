@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"svmsim/internal/twin"
+)
+
+// postTwin posts one body to a twin endpoint and returns status + raw bytes.
+func postTwin(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestTwinEndpointsBypassJobQueue: /v1/twin/predict and /v1/twin/optimize
+// answer synchronously from the analytical model — no job is created, the
+// queue stays empty, the result store stays empty — and the twin metrics
+// appear on /metrics. 422s carry the deterministic model verdicts.
+func TestTwinEndpointsBypassJobQueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lazy calibration simulates anchor cells")
+	}
+	suite := testSuite()
+	suite.Parallelism = 2
+	tw := twin.New()
+	s, err := New(Config{Suite: suite, Twin: tw, Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Predict an interior interrupt-cost cell: lazy calibration runs the
+	// anchors, then the model answers.
+	code, data := postTwin(t, ts.URL+"/v1/twin/predict",
+		`{"workload":"FFT","intr_half_cost_cycles":2000}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d %s", code, data)
+	}
+	var pred twin.Prediction
+	if err := json.Unmarshal(data, &pred); err != nil {
+		t.Fatal(err)
+	}
+	if pred.Workload != "FFT" || pred.Mode != "hlrc" || pred.Cycles == 0 || pred.Speedup <= 0 {
+		t.Fatalf("degenerate prediction: %+v", pred)
+	}
+	if pred.Anchor || pred.RelCI <= 0 {
+		t.Fatalf("interior cell claimed anchor certainty: %+v", pred)
+	}
+
+	// A second predict on the same axis is answered from the published
+	// model: calibration count must not move.
+	before := tw.Calibrations()
+	code, data = postTwin(t, ts.URL+"/v1/twin/predict",
+		`{"workload":"FFT","intr_half_cost_cycles":200}`)
+	if code != http.StatusOK {
+		t.Fatalf("second predict: %d %s", code, data)
+	}
+	if tw.Calibrations() != before {
+		t.Fatal("repeat predict re-calibrated")
+	}
+
+	// Optimize: infeasible constraints are deterministic 422s.
+	code, data = postTwin(t, ts.URL+"/v1/twin/optimize",
+		`{"workload":"FFT","min_speedup":1e9}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("impossible optimize: %d %s", code, data)
+	}
+	var envelope struct {
+		Error struct {
+			Kind string `json:"kind"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error.Kind != "infeasible" {
+		t.Fatalf("want infeasible error envelope, got %s", data)
+	}
+
+	// A satisfiable optimize returns a submittable spec.
+	code, data = postTwin(t, ts.URL+"/v1/twin/optimize",
+		`{"workload":"FFT","min_speedup":1}`)
+	if code != http.StatusOK {
+		t.Fatalf("optimize: %d %s", code, data)
+	}
+	var choice twin.Choice
+	if err := json.Unmarshal(data, &choice); err != nil {
+		t.Fatal(err)
+	}
+	if choice.Spec.Workload != "FFT" || len(choice.Sensitivities) < 4 {
+		t.Fatalf("degenerate choice: %+v", choice)
+	}
+
+	// Malformed and unservable requests map to 400/422.
+	if code, _ := postTwin(t, ts.URL+"/v1/twin/predict", `{"workload":"FFT","bogus":1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", code)
+	}
+	if code, _ := postTwin(t, ts.URL+"/v1/twin/predict", `{"workload":"NoSuchApp"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown workload: %d", code)
+	}
+	code, data = postTwin(t, ts.URL+"/v1/twin/predict",
+		`{"workload":"FFT","intr_policy":"round-robin","intr_half_cost_cycles":2000}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-model cell: %d %s", code, data)
+	}
+
+	// The whole exchange bypassed the job machinery.
+	s.mu.Lock()
+	jobs, stored := len(s.jobs), len(s.store)
+	s.mu.Unlock()
+	if jobs != 0 || stored != 0 {
+		t.Fatalf("twin endpoints touched the job machinery: %d jobs, %d stored results", jobs, stored)
+	}
+	if depth := len(s.queue); depth != 0 {
+		t.Fatalf("queue depth %d after twin requests", depth)
+	}
+
+	// Metrics expose the twin counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "svmsimd_twin_predictions_total 3") {
+		t.Fatalf("twin predictions counter missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "svmsimd_twin_calibrations_total") {
+		t.Fatalf("twin calibrations counter missing:\n%s", text)
+	}
+	if strings.Contains(text, `svmsimd_jobs_accepted_total{kind=`) {
+		t.Fatalf("jobs accepted during twin-only exchange:\n%s", text)
+	}
+}

@@ -205,6 +205,46 @@ func (r *Run) CriticalPath() uint64 {
 	return m
 }
 
+// EventProfile is a run's aggregate communication-event footprint: the
+// observables the paper's finding 4 ties to parameter sensitivity (host
+// overhead tracks messages, bandwidth tracks bytes, interrupt cost tracks
+// page fetches + remote lock acquires, AURC occupancy tracks update traffic).
+// The analytical twin (internal/twin) calibrates per-event costs against
+// these counts, so the profile is part of the calibration wire contract.
+type EventProfile struct {
+	// Msgs and Bytes are cluster-wide send-side totals.
+	Msgs  uint64 `json:"msgs"`
+	Bytes uint64 `json:"bytes"`
+	// PageFetches, RemoteLocks, LocalLocks and Barriers count protocol
+	// events that each pay fixed per-occurrence parameter costs.
+	PageFetches uint64 `json:"page_fetches"`
+	RemoteLocks uint64 `json:"remote_locks"`
+	LocalLocks  uint64 `json:"local_locks"`
+	Barriers    uint64 `json:"barriers"`
+	// Interrupts counts interrupts delivered (victim side).
+	Interrupts uint64 `json:"interrupts"`
+	// UpdateWords counts AURC automatic-update words (zero under HLRC).
+	UpdateWords uint64 `json:"update_words"`
+	// ComputeCycles is the total compute time across processors — the
+	// parameter-independent part of execution time.
+	ComputeCycles uint64 `json:"compute_cycles"`
+}
+
+// Profile extracts the run's event profile for twin calibration.
+func (r *Run) Profile() EventProfile {
+	return EventProfile{
+		Msgs:          r.Sum(func(p *Proc) uint64 { return p.MsgsSent }),
+		Bytes:         r.Sum(func(p *Proc) uint64 { return p.BytesSent }),
+		PageFetches:   r.Sum(func(p *Proc) uint64 { return p.PageFetches }),
+		RemoteLocks:   r.Sum(func(p *Proc) uint64 { return p.RemoteLocks }),
+		LocalLocks:    r.Sum(func(p *Proc) uint64 { return p.LocalLocks }),
+		Barriers:      r.Sum(func(p *Proc) uint64 { return p.Barriers }),
+		Interrupts:    r.Sum(func(p *Proc) uint64 { return p.Interrupts }),
+		UpdateWords:   r.Sum(func(p *Proc) uint64 { return p.UpdatesSent }),
+		ComputeCycles: r.ComputeCycles(),
+	}
+}
+
 // Speedups bundles the three speedup figures the paper reports for a single
 // application: the realistic/achievable speedup, plus the ideal speedup
 // limit computed from the same run. Like every stats struct, the fields pin

@@ -9,11 +9,11 @@
 # file in: the sequence BENCH_PR*.json on disk IS the perf trajectory, so a
 # regression shows up as a diff instead of archaeology through old CI logs.
 #
-# Usage: sh scripts/bench_snapshot.sh [output.json]   (default BENCH_PR6.json)
+# Usage: sh scripts/bench_snapshot.sh [output.json]   (default BENCH_PR10.json)
 # Run via `make bench-snapshot`. POSIX sh + awk only; minutes end to end.
 set -eu
 
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR10.json}
 count=${BENCH_COUNT:-3}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -29,6 +29,13 @@ go test -run '^$' -bench 'BenchmarkSingleRun$' \
 echo "bench-snapshot: suite benchmarks (count=$count)" >&2
 go test -run '^$' -bench 'BenchmarkSuiteSerial$|BenchmarkSuiteParallel$' \
     -benchmem -benchtime 1x -count "$count" . | tee -a "$tmp" >&2
+
+# Twin benchmarks: the predict hot path must stay microsecond-scale and
+# allocation-free. Calibration happens in benchmark setup, outside the timed
+# region, so only the closed-form evaluation is measured.
+echo "bench-snapshot: twin benchmarks (count=$count)" >&2
+go test -run '^$' -bench 'BenchmarkTwinPredict$|BenchmarkTwinOptimize$' \
+    -benchmem -count "$count" ./internal/twin/ | tee -a "$tmp" >&2
 
 awk -v goversion="$(go env GOVERSION)" -v count="$count" '
 /^Benchmark/ {

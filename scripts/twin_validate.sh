@@ -1,0 +1,72 @@
+#!/bin/sh
+# twin_validate.sh — end-to-end smoke test for twin-guided sweep pruning.
+#
+# Runs the same sweep twice — fully simulated and with -twin-prune — and
+# requires: (1) the pruned run simulated strictly fewer cells, saying so in
+# its reduction log; (2) the predicted cells are marked in the result
+# document (twin.predicted_cells); (3) every speedup in the pruned table
+# agrees with the fully simulated table within a 15% relative tolerance
+# (the model's confidence gate is 5%; 15% leaves headroom for the CI being
+# an estimate, not a bound).
+#
+# Run via `make twin-validate` (part of `make check`). POSIX sh + awk only.
+set -eu
+
+workdir=$(mktemp -d)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+fail() {
+    echo "twin-validate: FAIL: $*" >&2
+    for f in plain.log pruned.log; do
+        [ -f "$workdir/$f" ] && { echo "--- $f ---" >&2; cat "$workdir/$f" >&2; }
+    done
+    exit 1
+}
+
+echo "twin-validate: building sweep" >&2
+go build -o "$workdir/sweep" ./cmd/sweep
+
+echo "twin-validate: full simulation (interrupt sweep, FFT+LU)" >&2
+"$workdir/sweep" -param interrupt -apps FFT,LU -json \
+    >"$workdir/plain.json" 2>"$workdir/plain.log" || fail "plain sweep failed"
+
+echo "twin-validate: twin-pruned run of the same sweep" >&2
+"$workdir/sweep" -param interrupt -apps FFT,LU -twin-prune -json \
+    >"$workdir/pruned.json" 2>"$workdir/pruned.log" || fail "pruned sweep failed"
+
+# (1) The reduction must be real and logged.
+grep -q '^twin-prune: simulated .* fewer simulations$' "$workdir/pruned.log" \
+    || fail "reduction log line missing from stderr"
+predicted=$(sed -n 's/^ *"predicted": \([0-9][0-9]*\),*$/\1/p' "$workdir/pruned.json")
+[ -n "$predicted" ] || fail "twin summary missing from the pruned document"
+[ "$predicted" -gt 0 ] || fail "twin predicted 0 cells: nothing was pruned"
+
+# (2) Predicted cells are marked by content key.
+grep -q '"predicted_cells"' "$workdir/pruned.json" \
+    || fail "predicted_cells missing from the pruned document"
+
+# An unpruned document must NOT carry a twin summary (byte-compatibility).
+grep -q '"twin"' "$workdir/plain.json" && fail "unpruned document grew a twin summary"
+
+# (3) Same table shape, every value within 15% relative.
+# Bare numeric array elements are exactly the table values (the twin
+# summary's counters are keyed, predicted_cells are strings).
+extract() { awk '/^[ \t]*-?[0-9][0-9.eE+-]*,?[ \t]*$/ { gsub(/[ \t,]/, ""); print }' "$1"; }
+extract "$workdir/plain.json" > "$workdir/plain.vals"
+extract "$workdir/pruned.json" > "$workdir/pruned.vals"
+[ -s "$workdir/plain.vals" ] || fail "no values extracted from the plain document"
+
+paste "$workdir/plain.vals" "$workdir/pruned.vals" | awk '
+    NF != 2 { print "row " NR ": shape mismatch"; bad = 1; exit }
+    {
+        a = $1 + 0; b = $2 + 0
+        d = a - b; if (d < 0) d = -d
+        ref = a; if (ref < 0) ref = -ref; if (ref < 1e-9) ref = 1e-9
+        if (d / ref > 0.15) { printf "value %d: simulated %g vs predicted %g (>15%%)\n", NR, a, b; bad = 1 }
+    }
+    END { exit bad }
+' || fail "pruned table diverged from the simulated table"
+
+n=$(wc -l < "$workdir/plain.vals" | tr -d ' ')
+echo "twin-validate: OK — $n values within 15%, $predicted cells predicted instead of simulated" >&2
